@@ -1,0 +1,268 @@
+package javelin
+
+import (
+	"errors"
+	"io"
+
+	"javelin/internal/core"
+	"javelin/internal/gen"
+	"javelin/internal/krylov"
+	"javelin/internal/levelset"
+	"javelin/internal/mmio"
+	"javelin/internal/order"
+	"javelin/internal/sparse"
+)
+
+// Matrix is an immutable sparse matrix in CSR form.
+type Matrix struct {
+	csr *sparse.CSR
+}
+
+// N returns the number of rows.
+func (m *Matrix) N() int { return m.csr.N }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.csr.M }
+
+// Nnz returns the number of stored entries.
+func (m *Matrix) Nnz() int { return m.csr.Nnz() }
+
+// RowDensity returns Nnz/N (the paper's RD).
+func (m *Matrix) RowDensity() float64 { return m.csr.RowDensity() }
+
+// PatternSymmetric reports whether the sparsity pattern is symmetric.
+func (m *Matrix) PatternSymmetric() bool { return m.csr.PatternSymmetric() }
+
+// At returns the entry at (i, j) (0 when not stored). For tests and
+// inspection, not inner loops.
+func (m *Matrix) At(i, j int) float64 { return m.csr.At(i, j) }
+
+// MatVec computes y = A·x.
+func (m *Matrix) MatVec(x, y []float64) { m.csr.MatVec(x, y) }
+
+// Raw exposes the underlying CSR for advanced integrations. The
+// returned value must not be mutated.
+func (m *Matrix) Raw() *sparse.CSR { return m.csr }
+
+// WrapCSR adopts a raw CSR (validated) as a Matrix.
+func WrapCSR(c *sparse.CSR) (*Matrix, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &Matrix{csr: c}, nil
+}
+
+// Builder accumulates entries in coordinate form; duplicates are
+// summed by Build.
+type Builder struct {
+	coo *sparse.COO
+}
+
+// NewBuilder starts an n×n builder with a capacity hint.
+func NewBuilder(n, capHint int) *Builder {
+	return &Builder{coo: sparse.NewCOO(n, n, capHint)}
+}
+
+// Add appends entry (i, j, v).
+func (b *Builder) Add(i, j int, v float64) { b.coo.Add(i, j, v) }
+
+// AddSym appends (i, j, v) and its mirror.
+func (b *Builder) AddSym(i, j int, v float64) { b.coo.AddSym(i, j, v) }
+
+// Build finalizes the matrix.
+func (b *Builder) Build() *Matrix { return &Matrix{csr: b.coo.ToCSR()} }
+
+// ReadMatrixMarket parses a MatrixMarket coordinate stream.
+func ReadMatrixMarket(r io.Reader) (*Matrix, error) {
+	c, err := mmio.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{csr: c}, nil
+}
+
+// ReadMatrixMarketFile loads a .mtx file.
+func ReadMatrixMarketFile(path string) (*Matrix, error) {
+	c, err := mmio.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Matrix{csr: c}, nil
+}
+
+// WriteMatrixMarket writes m in coordinate form.
+func WriteMatrixMarket(w io.Writer, m *Matrix) error { return mmio.Write(w, m.csr) }
+
+// Stencil re-exports the grid generator stencils.
+type Stencil = gen.Stencil
+
+// Stencil kinds for GridLaplacian.
+const (
+	Star5  = gen.Star5
+	Box9   = gen.Box9
+	Star7  = gen.Star7
+	Box27  = gen.Box27
+	Wide13 = gen.Wide13
+	Wide25 = gen.Wide25
+	Star19 = gen.Star19
+	Wide37 = gen.Wide37
+)
+
+// GridLaplacian generates an SPD finite-difference Laplacian (see
+// internal/gen for the stencil catalog).
+func GridLaplacian(nx, ny, nz int, st Stencil, shift float64) *Matrix {
+	return &Matrix{csr: gen.GridLaplacian(nx, ny, nz, st, shift)}
+}
+
+// CircuitOptions configures the synthetic circuit generator.
+type CircuitOptions = gen.CircuitOptions
+
+// Circuit generates a circuit-simulation-like matrix.
+func Circuit(o CircuitOptions) *Matrix { return &Matrix{csr: gen.Circuit(o)} }
+
+// TetraMesh generates an unsymmetric-pattern FEM-like matrix.
+func TetraMesh(nx, ny, nz int, seed uint64) *Matrix {
+	return &Matrix{csr: gen.TetraMesh(nx, ny, nz, seed)}
+}
+
+// Ordering names a fill/bandwidth-reducing permutation algorithm.
+type Ordering int
+
+// Supported orderings (paper Table II).
+const (
+	OrderNatural Ordering = iota
+	OrderRCM
+	OrderAMD
+	OrderND
+)
+
+// Permutation maps new indices to old: p[new] = old.
+type Permutation = sparse.Perm
+
+// ComputeOrdering returns the permutation for the given ordering.
+func ComputeOrdering(o Ordering, m *Matrix) Permutation {
+	var meth order.Method
+	switch o {
+	case OrderNatural:
+		meth = order.Natural
+	case OrderRCM:
+		meth = order.RCM
+	case OrderAMD:
+		meth = order.AMD
+	case OrderND:
+		meth = order.ND
+	default:
+		meth = order.Natural
+	}
+	return order.Compute(meth, m.csr)
+}
+
+// ZeroFreeDiagonal returns a row permutation placing nonzeros on the
+// diagonal (Dulmage–Mendelsohn style preprocessing).
+func ZeroFreeDiagonal(m *Matrix) Permutation {
+	return order.ZeroFreeDiagonal(m.csr)
+}
+
+// PermuteSym applies p symmetrically: result = P·A·Pᵀ.
+func PermuteSym(m *Matrix, p Permutation) *Matrix {
+	return &Matrix{csr: sparse.PermuteSym(m.csr, p, 0)}
+}
+
+// PermuteRows reorders only the rows of m by p.
+func PermuteRows(m *Matrix, p Permutation) *Matrix {
+	return &Matrix{csr: sparse.PermuteRows(m.csr, p)}
+}
+
+// LowerMethod selects the lower-stage algorithm.
+type LowerMethod = core.LowerMethod
+
+// Lower-stage methods.
+const (
+	LowerAuto = core.LowerAuto
+	LowerER   = core.LowerER
+	LowerSR   = core.LowerSR
+	LowerNone = core.LowerNone
+)
+
+// PatternSource selects which pattern drives level scheduling.
+type PatternSource = levelset.PatternSource
+
+// Level-scheduling pattern sources.
+const (
+	PatternLowerA   = levelset.LowerA
+	PatternLowerAAT = levelset.LowerAAT
+)
+
+// Options configures Factorize; see core.Options for field semantics.
+type Options = core.Options
+
+// DefaultOptions returns the paper-default configuration: ILU(0),
+// lower(A+Aᵀ) level pattern, automatic SR/ER selection, A=16 split.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Preconditioner is a factorized Javelin ILU ready to apply.
+type Preconditioner struct {
+	e *core.Engine
+}
+
+// Factorize computes the Javelin incomplete factorization of m.
+func Factorize(m *Matrix, opt Options) (*Preconditioner, error) {
+	if m == nil || m.csr == nil {
+		return nil, errors.New("javelin: nil matrix")
+	}
+	e, err := core.Factorize(m.csr, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Preconditioner{e: e}, nil
+}
+
+// Apply computes z ≈ A⁻¹·r (one ILU preconditioner application) in
+// the user's row ordering. Not safe for concurrent calls.
+func (p *Preconditioner) Apply(r, z []float64) { p.e.Apply(r, z) }
+
+// Refactorize reuses the symbolic structure on new values (same
+// pattern).
+func (p *Preconditioner) Refactorize(m *Matrix) error { return p.e.Refactorize(m.csr) }
+
+// Method reports the lower-stage method Javelin selected.
+func (p *Preconditioner) Method() LowerMethod { return p.e.Method() }
+
+// NUpper returns the number of rows factored by the level-scheduled
+// upper stage; N−NUpper rows went to the lower stage.
+func (p *Preconditioner) NUpper() int { return p.e.Split().NUpper }
+
+// NumLevels returns the number of level sets found.
+func (p *Preconditioner) NumLevels() int { return p.e.Split().Lv.Count }
+
+// Close releases worker resources (idempotent).
+func (p *Preconditioner) Close() { p.e.Close() }
+
+// Engine exposes the underlying engine for benchmarking and advanced
+// use; treat as read-only.
+func (p *Preconditioner) Engine() *core.Engine { return p.e }
+
+// SolverOptions bounds an iterative solve.
+type SolverOptions = krylov.Options
+
+// SolverStats reports iterations and convergence.
+type SolverStats = krylov.Stats
+
+// SolveCG runs preconditioned conjugate gradients (SPD matrices).
+// Pass nil for no preconditioning.
+func SolveCG(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	var pc krylov.Preconditioner = krylov.Identity{}
+	if p != nil {
+		pc = p.e
+	}
+	return krylov.CG(m.csr, pc, b, x, opt)
+}
+
+// SolveGMRES runs left-preconditioned restarted GMRES.
+func SolveGMRES(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	var pc krylov.Preconditioner = krylov.Identity{}
+	if p != nil {
+		pc = p.e
+	}
+	return krylov.GMRES(m.csr, pc, b, x, opt)
+}

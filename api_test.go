@@ -1,0 +1,201 @@
+package javelin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestBuilderAndMatrixBasics(t *testing.T) {
+	b := NewBuilder(3, 8)
+	b.Add(0, 0, 2)
+	b.AddSym(0, 1, -1)
+	b.Add(1, 1, 2)
+	b.Add(2, 2, 2)
+	m := b.Build()
+	if m.N() != 3 || m.Cols() != 3 || m.Nnz() != 5 {
+		t.Fatalf("shape n=%d cols=%d nnz=%d", m.N(), m.Cols(), m.Nnz())
+	}
+	if m.At(1, 0) != -1 || m.At(0, 1) != -1 {
+		t.Fatal("AddSym mirror missing")
+	}
+	if !m.PatternSymmetric() {
+		t.Error("pattern should be symmetric")
+	}
+	y := make([]float64, 3)
+	m.MatVec([]float64{1, 1, 1}, y)
+	if y[0] != 1 || y[1] != 1 || y[2] != 2 {
+		t.Errorf("MatVec %v", y)
+	}
+}
+
+func TestFactorizeAndSolveCGEndToEnd(t *testing.T) {
+	m := GridLaplacian(30, 30, 1, Star5, 0.1)
+	p, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := m.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = float64(i % 5)
+	}
+	b := make([]float64, n)
+	m.MatVec(xTrue, b)
+	x := make([]float64, n)
+	st, err := SolveCG(m, p, b, x, SolverOptions{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("no convergence: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-5 {
+			t.Fatalf("x[%d]=%g want %g", i, x[i], xTrue[i])
+		}
+	}
+}
+
+func TestSolveGMRESOnCircuit(t *testing.T) {
+	m := Circuit(CircuitOptions{N: 2000, AvgDeg: 4, NumHubs: 3, HubDeg: 60,
+		UnsymFrac: 0.4, Locality: 64, Seed: 12})
+	p, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	n := m.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	st, err := SolveGMRES(m, p, b, x, SolverOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("GMRES did not converge: %+v", st)
+	}
+}
+
+func TestSolveWithoutPreconditioner(t *testing.T) {
+	m := GridLaplacian(12, 12, 1, Star5, 1)
+	n := m.N()
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1
+	}
+	x := make([]float64, n)
+	st, err := SolveCG(m, nil, b, x, SolverOptions{Tol: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatal("plain CG should converge on a dominant Laplacian")
+	}
+}
+
+func TestOrderingsThroughAPI(t *testing.T) {
+	m := GridLaplacian(15, 15, 1, Star5, 1)
+	for _, o := range []Ordering{OrderNatural, OrderRCM, OrderAMD, OrderND} {
+		p := ComputeOrdering(o, m)
+		if err := p.Validate(); err != nil {
+			t.Errorf("ordering %d: %v", o, err)
+		}
+		pm := PermuteSym(m, p)
+		if pm.Nnz() != m.Nnz() {
+			t.Errorf("ordering %d changed nnz", o)
+		}
+	}
+}
+
+func TestZeroFreeDiagonalAPI(t *testing.T) {
+	b := NewBuilder(3, 3)
+	b.Add(0, 1, 1)
+	b.Add(1, 2, 1)
+	b.Add(2, 0, 1)
+	m := b.Build()
+	p := ZeroFreeDiagonal(m)
+	pm := PermuteRows(m, p)
+	for i := 0; i < 3; i++ {
+		if pm.At(i, i) == 0 {
+			t.Fatalf("diagonal %d still zero", i)
+		}
+	}
+}
+
+func TestMatrixMarketRoundTripAPI(t *testing.T) {
+	m := TetraMesh(4, 4, 4, 2)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.N() != m.N() || m2.Nnz() != m.Nnz() {
+		t.Fatal("round trip changed the matrix")
+	}
+}
+
+func TestPreconditionerIntrospection(t *testing.T) {
+	m := GridLaplacian(40, 10, 1, Star5, 1)
+	opt := DefaultOptions()
+	opt.Threads = 2
+	p, err := Factorize(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.NumLevels() <= 0 {
+		t.Error("NumLevels")
+	}
+	if p.NUpper() <= 0 || p.NUpper() > m.N() {
+		t.Errorf("NUpper %d", p.NUpper())
+	}
+	if p.Engine() == nil {
+		t.Error("Engine() nil")
+	}
+	switch p.Method() {
+	case LowerAuto:
+		t.Error("Method() must be resolved, not Auto")
+	case LowerER, LowerSR, LowerNone:
+	default:
+		t.Error("unknown method")
+	}
+}
+
+func TestRefactorizeAPI(t *testing.T) {
+	m := GridLaplacian(10, 10, 1, Star5, 1)
+	p, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if err := p.Refactorize(m); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapCSRValidates(t *testing.T) {
+	m := GridLaplacian(5, 5, 1, Star5, 1)
+	raw := m.Raw()
+	if _, err := WrapCSR(raw); err != nil {
+		t.Fatal(err)
+	}
+	bad := raw.Clone()
+	bad.ColIdx[0] = 999
+	if _, err := WrapCSR(bad); err == nil {
+		t.Fatal("invalid CSR accepted")
+	}
+}
+
+func TestFactorizeNilMatrix(t *testing.T) {
+	if _, err := Factorize(nil, DefaultOptions()); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+}

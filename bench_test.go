@@ -1,0 +1,362 @@
+package javelin
+
+// Benchmark harness: one testing.B benchmark per paper table/figure,
+// plus ablation benches for the design choices DESIGN.md calls out.
+// These run the same code paths as cmd/javelin-bench at a small fixed
+// scale so `go test -bench=. -benchmem` regenerates every experiment
+// in minutes; use the command for larger scales.
+
+import (
+	"io"
+	"testing"
+
+	"javelin/internal/baseline"
+	"javelin/internal/bench"
+	"javelin/internal/core"
+	"javelin/internal/gen"
+	"javelin/internal/ilu"
+	"javelin/internal/levelset"
+	"javelin/internal/sparse"
+	"javelin/internal/trisolve"
+	"javelin/internal/util"
+)
+
+const benchScale = 0.03
+
+func benchConfig() bench.Config {
+	return bench.Config{
+		Scale:   benchScale,
+		Threads: []int{1, 2, 4, 8},
+		Repeats: 1,
+		Out:     io.Discard,
+	}
+}
+
+// benchMatrix returns a mid-size preordered suite matrix for the
+// kernel-level benchmarks.
+func benchMatrix(b *testing.B, name string) *sparse.CSR {
+	b.Helper()
+	spec, ok := gen.ByName(name)
+	if !ok {
+		b.Fatalf("unknown matrix %s", name)
+	}
+	return bench.Preorder(spec.Build(spec.ScaledN(benchScale)))
+}
+
+// --- Table I -----------------------------------------------------------
+
+func BenchmarkTable1Stats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable1(cfg)
+	}
+}
+
+// --- Table II ----------------------------------------------------------
+
+func BenchmarkTable2Iterations(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"apache2", "ecology2"} // subset keeps -bench=. fast
+	for i := 0; i < b.N; i++ {
+		bench.RunTable2(cfg)
+	}
+}
+
+// --- Table III / IV ----------------------------------------------------
+
+func BenchmarkTable3LevelStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable3(cfg)
+	}
+}
+
+func BenchmarkTable4LevelStats(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		bench.RunTable4(cfg)
+	}
+}
+
+// --- Fig. 9 ------------------------------------------------------------
+
+func BenchmarkFig9WSMPSlowdown(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"wang3", "scircuit", "apache2"}
+	cfg.Threads = []int{1, 2, 4, 8}
+	for i := 0; i < b.N; i++ {
+		bench.RunFig9(cfg)
+	}
+}
+
+// Direct kernel comparison underlying Fig. 9: the two factorizations
+// on one matrix, reported as separate benches so -benchmem shows the
+// data-movement difference.
+func BenchmarkFig9JavelinILU(b *testing.B) {
+	a := benchMatrix(b, "scircuit")
+	opt := core.DefaultOptions()
+	opt.Threads = 4
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9SupernodalBaseline(b *testing.B) {
+	a := benchMatrix(b, "scircuit")
+	opt := baseline.DefaultSupernodalOptions()
+	opt.Threads = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.Supernodal(a, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figs. 10 & 11 -----------------------------------------------------
+
+func BenchmarkFig10HaswellSpeedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"wang3", "apache2", "scircuit"}
+	cfg.Threads = []int{1, 2, 4} // "Haswell" half/full-socket analogue
+	for i := 0; i < b.N; i++ {
+		bench.RunScaling(cfg, "Fig. 10")
+	}
+}
+
+func BenchmarkFig11KNLSpeedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"wang3", "apache2", "scircuit"}
+	cfg.Threads = []int{1, 4, 8} // "KNL" higher-thread analogue
+	for i := 0; i < b.N; i++ {
+		bench.RunScaling(cfg, "Fig. 11")
+	}
+}
+
+// Per-thread-count ILU kernels (the bars behind Figs. 10/11).
+func benchILUAtThreads(b *testing.B, threads int, lower core.LowerMethod) {
+	a := benchMatrix(b, "apache2")
+	opt := core.DefaultOptions()
+	opt.Threads = threads
+	opt.Lower = lower
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkILU_LS_1T(b *testing.B)      { benchILUAtThreads(b, 1, core.LowerNone) }
+func BenchmarkILU_LS_4T(b *testing.B)      { benchILUAtThreads(b, 4, core.LowerNone) }
+func BenchmarkILU_LS_8T(b *testing.B)      { benchILUAtThreads(b, 8, core.LowerNone) }
+func BenchmarkILU_LSLower_4T(b *testing.B) { benchILUAtThreads(b, 4, core.LowerAuto) }
+func BenchmarkILU_LSLower_8T(b *testing.B) { benchILUAtThreads(b, 8, core.LowerAuto) }
+
+// --- Fig. 12 -----------------------------------------------------------
+
+func BenchmarkFig12TriSolve(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"apache2", "ecology2"}
+	for i := 0; i < b.N; i++ {
+		bench.RunFig12(cfg)
+	}
+}
+
+// The three stri methods on one matrix (the bars of Fig. 12).
+func benchStri(b *testing.B, mode string, threads int) {
+	a := benchMatrix(b, "ecology2")
+	optLS := core.DefaultOptions()
+	optLS.Threads = threads
+	if mode == "lslower" {
+		optLS.Lower = core.LowerAuto
+	} else {
+		optLS.Lower = core.LowerNone
+	}
+	e, err := core.Factorize(a, optLS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	rhs := make([]float64, a.N)
+	rng := util.NewRNG(5)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, a.N)
+	var csrls *trisolve.CSRLS
+	if mode == "csrls" {
+		csrls = trisolve.NewCSRLS(e.Factor(), threads)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch mode {
+		case "csrls":
+			csrls.SolveLower(rhs, x)
+			csrls.SolveUpper(x, x)
+		default:
+			e.SolveLower(rhs, x)
+			e.SolveUpper(x, x)
+		}
+	}
+}
+
+func BenchmarkStriCSRLS_4T(b *testing.B)   { benchStri(b, "csrls", 4) }
+func BenchmarkStriLS_4T(b *testing.B)      { benchStri(b, "ls", 4) }
+func BenchmarkStriLSLower_4T(b *testing.B) { benchStri(b, "lslower", 4) }
+func BenchmarkStriCSRLS_8T(b *testing.B)   { benchStri(b, "csrls", 8) }
+func BenchmarkStriLS_8T(b *testing.B)      { benchStri(b, "ls", 8) }
+func BenchmarkStriLSLower_8T(b *testing.B) { benchStri(b, "lslower", 8) }
+
+// --- Fig. 13 -----------------------------------------------------------
+
+func BenchmarkFig13RCMSpeedup(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Matrices = []string{"apache2", "ecology2"}
+	cfg.Threads = []int{1, 4}
+	for i := 0; i < b.N; i++ {
+		bench.RunFig13(cfg)
+	}
+}
+
+// --- Ablations ----------------------------------------------------------
+
+// Ablation: SR vs ER on a matrix whose lower stage is nontrivial.
+func benchLowerMethod(b *testing.B, m core.LowerMethod) {
+	a := benchMatrix(b, "TSOPF_RS_b300_c2")
+	opt := core.DefaultOptions()
+	opt.Threads = 4
+	opt.Lower = m
+	opt.Split.MinRowsPerLevel = 32
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLowerSR(b *testing.B) { benchLowerMethod(b, core.LowerSR) }
+func BenchmarkAblationLowerER(b *testing.B) { benchLowerMethod(b, core.LowerER) }
+
+// Ablation: stage-split sensitivity parameter A (Table III's R-A).
+func benchSplitA(b *testing.B, minRows int) {
+	a := benchMatrix(b, "fem_filter")
+	opt := core.DefaultOptions()
+	opt.Threads = 4
+	opt.Split.MinRowsPerLevel = minRows
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSplitA16(b *testing.B) { benchSplitA(b, 16) }
+func BenchmarkAblationSplitA32(b *testing.B) { benchSplitA(b, 32) }
+
+// Ablation: SR tile size.
+func benchTileSize(b *testing.B, tile int) {
+	a := benchMatrix(b, "TSOPF_RS_b300_c2")
+	opt := core.DefaultOptions()
+	opt.Threads = 4
+	opt.Lower = core.LowerSR
+	opt.TileSize = tile
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTile128(b *testing.B)  { benchTileSize(b, 128) }
+func BenchmarkAblationTile1024(b *testing.B) { benchTileSize(b, 1024) }
+
+// Ablation: lower(A) vs lower(A+Aᵀ) level pattern (Table IV's question).
+func benchPatternSource(b *testing.B, src levelset.PatternSource) {
+	a := benchMatrix(b, "trans4")
+	opt := core.DefaultOptions()
+	opt.Threads = 4
+	opt.Pattern = src
+	opt.Lower = core.LowerER
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Refactorize(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationPatternLowerA(b *testing.B)   { benchPatternSource(b, levelset.LowerA) }
+func BenchmarkAblationPatternLowerAAT(b *testing.B) { benchPatternSource(b, levelset.LowerAAT) }
+
+// Ablation: the serial reference (dense-scratch up-looking) vs the
+// engine's merge-kernel at one thread.
+func BenchmarkSerialReferenceILU(b *testing.B) {
+	a := benchMatrix(b, "apache2")
+	f, err := ilu.Factorize(a, ilu.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ilu.Refactorize(f, a, ilu.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Symbolic phase cost (excluded from the paper's timings, benched for
+// completeness).
+func BenchmarkSymbolicILU0(b *testing.B) {
+	a := benchMatrix(b, "apache2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ilu.SymbolicPattern(a, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevelScheduleBuild(b *testing.B) {
+	a := benchMatrix(b, "apache2")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		levelset.Compute(a, levelset.LowerAAT)
+	}
+}

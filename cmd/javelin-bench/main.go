@@ -1,0 +1,90 @@
+// Command javelin-bench regenerates the paper's evaluation tables and
+// figures on the host machine.
+//
+// Usage:
+//
+//	javelin-bench -exp all -scale 0.05
+//	javelin-bench -exp fig10 -threads 1,2,4,8 -matrices wang3,scircuit
+//
+// Experiments: table1, table2, table3, table4, fig9, fig10, fig11,
+// fig12, fig13, all. Figures 10 and 11 are the same strong-scaling
+// experiment at different thread sweeps (the paper's Haswell and KNL
+// machines); here both sweep -threads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"javelin/internal/bench"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|all")
+		scale    = flag.Float64("scale", 0.05, "suite scale factor in (0,1]; 1.0 = paper-size matrices")
+		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
+		repeats  = flag.Int("repeats", 3, "timing repetitions (best-of)")
+		matrices = flag.String("matrices", "", "comma-separated Table-I names to include (default all)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		Scale:   *scale,
+		Repeats: *repeats,
+		Out:     os.Stdout,
+	}
+	if *threads != "" {
+		for _, tok := range strings.Split(*threads, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "javelin-bench: bad thread count %q\n", tok)
+				os.Exit(2)
+			}
+			cfg.Threads = append(cfg.Threads, p)
+		}
+	}
+	if *matrices != "" {
+		for _, tok := range strings.Split(*matrices, ",") {
+			cfg.Matrices = append(cfg.Matrices, strings.TrimSpace(tok))
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "table1":
+			bench.RunTable1(cfg)
+		case "table2":
+			bench.RunTable2(cfg)
+		case "table3":
+			bench.RunTable3(cfg)
+		case "table4":
+			bench.RunTable4(cfg)
+		case "fig9":
+			bench.RunFig9(cfg)
+		case "fig10":
+			bench.RunScaling(cfg, "Fig. 10 (Haswell analogue)")
+		case "fig11":
+			bench.RunScaling(cfg, "Fig. 11 (KNL analogue)")
+		case "fig12":
+			bench.RunFig12(cfg)
+		case "fig13":
+			bench.RunFig13(cfg)
+		default:
+			fmt.Fprintf(os.Stderr, "javelin-bench: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "table3", "table4", "fig9",
+			"fig10", "fig12", "table2", "fig13"} {
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

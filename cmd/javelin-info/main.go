@@ -1,0 +1,46 @@
+// Command javelin-info prints structural statistics of the test
+// suite: Table I (suite overview), Table III (lower(A+Aᵀ) level sets
+// and the stage-split sensitivity parameter), and Table IV (lower(A)
+// level sets).
+//
+// Usage:
+//
+//	javelin-info -table 1 -scale 0.1
+//	javelin-info -table 3 -matrices af_shell3,fem_filter
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"javelin/internal/bench"
+)
+
+func main() {
+	var (
+		table    = flag.Int("table", 1, "paper table to print: 1, 3, or 4")
+		scale    = flag.Float64("scale", 0.1, "suite scale factor in (0,1]")
+		matrices = flag.String("matrices", "", "comma-separated Table-I names (default all)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Out: os.Stdout}
+	if *matrices != "" {
+		for _, tok := range strings.Split(*matrices, ",") {
+			cfg.Matrices = append(cfg.Matrices, strings.TrimSpace(tok))
+		}
+	}
+	switch *table {
+	case 1:
+		bench.RunTable1(cfg)
+	case 3:
+		bench.RunTable3(cfg)
+	case 4:
+		bench.RunTable4(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "javelin-info: no such table %d (use 1, 3 or 4)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,32 @@
+// Package javelin is a scalable shared-memory framework for sparse
+// incomplete LU factorization, reproducing Booth & Bolet, "Javelin: A
+// Scalable Implementation for Sparse Incomplete LU Factorization"
+// (IPPS/IPDPS 2019).
+//
+// Javelin factorizes A ≈ L·U on a predetermined sparsity pattern
+// (ILU(k), ILU(τ), ILU(k,τ), optionally modified/MILU) using an
+// up-looking row algorithm scheduled in two stages:
+//
+//   - an upper stage of level-scheduled rows synchronized with
+//     point-to-point spin waits instead of barriers, and
+//   - a lower stage for the trailing small/dense levels, factored by
+//     either the Segmented-Rows (SR, tiled + task pool) or Even-Rows
+//     (ER, statically blocked) method.
+//
+// The same permutation and tile structures drive the sparse
+// triangular solves, so the preconditioner applies at spmv-like
+// scalability without reformatting — the paper's co-design thesis.
+//
+// # Quick start
+//
+//	m := javelin.GridLaplacian(100, 100, 1, javelin.Star5, 0.1)
+//	p, err := javelin.Factorize(m, javelin.DefaultOptions())
+//	if err != nil { ... }
+//	defer p.Close()
+//	x := make([]float64, m.N())
+//	stats, err := javelin.SolveCG(m, p, b, x, javelin.SolverOptions{Tol: 1e-6})
+//
+// The internal packages hold the substrates (sparse structures, level
+// scheduling, p2p synchronization, task pool, orderings, Krylov
+// solvers, baselines); this package is the supported surface.
+package javelin

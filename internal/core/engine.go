@@ -1,0 +1,307 @@
+// Package core implements the Javelin engine: parallel incomplete LU
+// factorization with a level-scheduled, point-to-point-synchronized
+// upper stage and a Segmented-Rows (SR) or Even-Rows (ER) lower
+// stage, co-designed with the sparse triangular solves that apply the
+// resulting preconditioner (paper Sections III, V, VI).
+//
+// The engine owns the permuted factor, the p2p schedules for the
+// forward (L) and backward (U) sweeps, and the lower-stage plan; the
+// same structures drive both numeric factorization and the solves,
+// which is the paper's central co-design point.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"javelin/internal/ilu"
+	"javelin/internal/levelset"
+	"javelin/internal/p2p"
+	"javelin/internal/sparse"
+	"javelin/internal/taskpool"
+	"javelin/internal/util"
+)
+
+// LowerMethod selects the second-stage factorization method.
+type LowerMethod int
+
+const (
+	// LowerAuto lets Javelin pick between SR and ER from the matrix
+	// structure (paper: "Javelin by default will make the choice for
+	// the user based on the matrix structure").
+	LowerAuto LowerMethod = iota
+	// LowerER is the Even-Rows method.
+	LowerER
+	// LowerSR is the Segmented-Rows method.
+	LowerSR
+	// LowerNone disables the second stage: every level is handled by
+	// level scheduling with p2p synchronization (the paper's "LS").
+	LowerNone
+)
+
+// String returns the paper's abbreviation.
+func (m LowerMethod) String() string {
+	switch m {
+	case LowerAuto:
+		return "Auto"
+	case LowerER:
+		return "ER"
+	case LowerSR:
+		return "SR"
+	case LowerNone:
+		return "LS"
+	}
+	return "?"
+}
+
+// Options configures a Javelin factorization.
+type Options struct {
+	// FillLevel is k in ILU(k); 0 (the paper's evaluation setting)
+	// keeps the pattern of A.
+	FillLevel int
+	// DropTol is τ in ILU(k,τ); 0 disables dropping.
+	DropTol float64
+	// Modified enables MILU diagonal compensation.
+	Modified bool
+	// Threads is the worker count; 0 means GOMAXPROCS.
+	Threads int
+	// Lower selects the second-stage method.
+	Lower LowerMethod
+	// Pattern selects the level-scheduling pattern; LowerAAT (the
+	// default, required by SR and stri tiling) or LowerA (usable with
+	// LS/ER only; Table IV's comparison).
+	Pattern levelset.PatternSource
+	// Split tunes the two-stage partition (Table III's sensitivity
+	// parameter A is Split.MinRowsPerLevel).
+	Split levelset.SplitOptions
+	// TileSize is the SR tile granularity in nonzeros; 0 means the
+	// default (512).
+	TileSize int
+	// SerialCorner forces the final corner block to be factored
+	// serially even under SR (ER always uses a serial corner, which
+	// the paper found "good enough").
+	SerialCorner bool
+}
+
+// DefaultOptions returns the paper-default configuration: ILU(0),
+// lower(A+Aᵀ) levels, automatic lower method, A=16 split.
+func DefaultOptions() Options {
+	return Options{
+		FillLevel: 0,
+		Lower:     LowerAuto,
+		Pattern:   levelset.LowerAAT,
+		Split:     levelset.DefaultSplitOptions(),
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = util.MaxThreads()
+	}
+	if o.TileSize <= 0 {
+		o.TileSize = 512
+	}
+	return o
+}
+
+// Engine is a factorized Javelin preconditioner. It retains the
+// symbolic structures so that Refactorize and the triangular solves
+// are cheap. An Engine's solves are not safe for concurrent use from
+// multiple goroutines (they share internal scratch); clone per
+// goroutine if needed.
+type Engine struct {
+	opt    Options
+	n      int
+	split  *levelset.Split
+	factor *ilu.Factor // on permuted indexing
+	method LowerMethod // resolved (never LowerAuto)
+
+	schedL *p2p.Schedule // forward deps (ILU upper stage + L-solve)
+	schedU *p2p.Schedule // backward deps on upper rows (U-solve)
+
+	lower *lowerPlan
+	pool  *taskpool.Pool
+
+	rowSumU []float64 // MILU: Σ of each finished U-row (nil unless Modified)
+
+	// scratch for Apply
+	tmp1, tmp2 []float64
+}
+
+// Factorize computes a Javelin incomplete LU of a.
+//
+// a must be square with a structurally nonzero diagonal (apply the
+// order.ZeroFreeDiagonal permutation first if needed). The matrix is
+// assumed already preordered by the caller (e.g. ND or RCM); Javelin
+// only adds its level-set permutation on top, exactly as in the paper.
+func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
+	opt = opt.withDefaults()
+	if a.N != a.M {
+		return nil, errors.New("core: matrix must be square")
+	}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	pattern, err := ilu.SymbolicPattern(a, opt.FillLevel)
+	if err != nil {
+		return nil, err
+	}
+
+	var split *levelset.Split
+	if opt.Lower == LowerNone {
+		split = levelset.NoSplit(pattern, opt.Pattern)
+	} else {
+		split = levelset.ComputeSplit(pattern, opt.Pattern, opt.Split)
+	}
+
+	permPat := sparse.PermuteSym(pattern, split.Perm, opt.Threads)
+	e := &Engine{
+		opt:   opt,
+		n:     a.N,
+		split: split,
+	}
+	e.method = e.resolveMethod()
+
+	// Build the factor skeleton on the permuted pattern.
+	diagPos := make([]int, a.N)
+	for i := 0; i < a.N; i++ {
+		dp := -1
+		for k := permPat.RowPtr[i]; k < permPat.RowPtr[i+1]; k++ {
+			if permPat.ColIdx[k] == i {
+				dp = k
+				break
+			}
+		}
+		if dp < 0 {
+			return nil, fmt.Errorf("core: row %d lacks a diagonal entry; apply a zero-free-diagonal permutation first", i)
+		}
+		diagPos[i] = dp
+	}
+	e.factor = &ilu.Factor{LU: permPat, DiagPos: diagPos}
+	if opt.Modified {
+		e.rowSumU = make([]float64, a.N)
+	}
+
+	e.buildSchedules()
+	if err := e.buildLowerPlan(); err != nil {
+		return nil, err
+	}
+	if e.method == LowerSR {
+		e.pool = taskpool.New(opt.Threads)
+	}
+
+	e.tmp1 = make([]float64, a.N)
+	e.tmp2 = make([]float64, a.N)
+
+	if err := e.Refactorize(a); err != nil {
+		e.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+// resolveMethod applies the paper's auto rule: ER needs more excluded
+// rows than threads (so imbalance averages out); SR handles the
+// few-rows / imbalanced-nnz case. LowerA pattern cannot drive SR.
+func (e *Engine) resolveMethod() LowerMethod {
+	m := e.opt.Lower
+	if m != LowerAuto {
+		return m
+	}
+	nLower := e.split.NLower()
+	if nLower == 0 {
+		return LowerNone
+	}
+	if e.opt.Pattern == levelset.LowerA {
+		return LowerER
+	}
+	if nLower >= 2*e.opt.Threads {
+		return LowerER
+	}
+	return LowerSR
+}
+
+// Method returns the resolved lower-stage method.
+func (e *Engine) Method() LowerMethod { return e.method }
+
+// N returns the matrix dimension.
+func (e *Engine) N() int { return e.n }
+
+// Factor exposes the permuted factor (read-only use).
+func (e *Engine) Factor() *ilu.Factor { return e.factor }
+
+// Split exposes the two-stage partition.
+func (e *Engine) Split() *levelset.Split { return e.split }
+
+// Perm returns the level-set permutation applied to the input matrix
+// (p[new] = old).
+func (e *Engine) Perm() sparse.Perm { return e.split.Perm }
+
+// Threads returns the configured worker count.
+func (e *Engine) Threads() int { return e.opt.Threads }
+
+// Close releases the engine's task pool (safe to call more than once).
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.Close()
+		e.pool = nil
+	}
+}
+
+// buildSchedules constructs the p2p plans. Forward dependencies of
+// row r are the sub-diagonal columns of the factor pattern (identical
+// for the ILU upper stage and the L triangular solve). Backward
+// dependencies (U solve) are the super-diagonal columns restricted to
+// upper rows, with levels recomputed on the reverse DAG.
+func (e *Engine) buildSchedules() {
+	lu := e.factor.LU
+	nUp := e.split.NUpper
+	// Forward levels: contiguous ranges straight from the split.
+	fwdLevels := make([][]int, e.split.CutLevel)
+	for l := 0; l < e.split.CutLevel; l++ {
+		lo, hi := e.split.UpperLvlPtr[l], e.split.UpperLvlPtr[l+1]
+		rows := make([]int, hi-lo)
+		for i := range rows {
+			rows[i] = lo + i
+		}
+		fwdLevels[l] = rows
+	}
+	e.schedL = p2p.NewSchedule(fwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
+		cols, _ := lu.Row(r)
+		for _, c := range cols {
+			if c >= r {
+				break
+			}
+			emit(c)
+		}
+	})
+
+	// Backward levels over upper rows only.
+	lvlB := make([]int, nUp)
+	maxB := 0
+	for r := nUp - 1; r >= 0; r-- {
+		l := 0
+		for k := e.factor.DiagPos[r] + 1; k < lu.RowPtr[r+1]; k++ {
+			c := lu.ColIdx[k]
+			if c < nUp && lvlB[c]+1 > l {
+				l = lvlB[c] + 1
+			}
+		}
+		lvlB[r] = l
+		if l > maxB {
+			maxB = l
+		}
+	}
+	bwdLevels := make([][]int, maxB+1)
+	if nUp == 0 {
+		bwdLevels = nil
+	}
+	for r := 0; r < nUp; r++ {
+		bwdLevels[lvlB[r]] = append(bwdLevels[lvlB[r]], r)
+	}
+	e.schedU = p2p.NewSchedule(bwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
+		for k := e.factor.DiagPos[r] + 1; k < lu.RowPtr[r+1]; k++ {
+			emit(lu.ColIdx[k])
+		}
+	})
+}

@@ -1,0 +1,277 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+// Refactorize re-runs the numeric factorization on fresh values from
+// a (same pattern as the matrix originally factorized), reusing every
+// symbolic structure — the common case for time-stepping applications
+// where the preconditioner is rebuilt but the pattern is fixed.
+func (e *Engine) Refactorize(a *sparse.CSR) error {
+	if a.N != e.n || a.M != e.n {
+		return errors.New("core: Refactorize dimension mismatch")
+	}
+	e.scatter(a)
+	if e.lower != nil {
+		for i := range e.lower.comp {
+			e.lower.comp[i] = 0
+		}
+	}
+	if err := e.factorUpper(); err != nil {
+		return err
+	}
+	switch e.method {
+	case LowerNone:
+		// nothing: no lower rows
+	case LowerER:
+		if err := e.factorLowerER(); err != nil {
+			return err
+		}
+	case LowerSR:
+		if err := e.factorLowerSR(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("core: unresolved lower method %v", e.method)
+	}
+	return nil
+}
+
+// scatter copies a's values into the permuted factor skeleton in
+// parallel (the paper's copy-with-first-touch step).
+func (e *Engine) scatter(a *sparse.CSR) {
+	lu := e.factor.LU
+	perm := e.split.Perm
+	inv := perm.Inverse()
+	util.ParallelFor(e.n, e.opt.Threads, func(newI int) {
+		lo, hi := lu.RowPtr[newI], lu.RowPtr[newI+1]
+		for k := lo; k < hi; k++ {
+			lu.Val[k] = 0
+		}
+		lcols := lu.ColIdx[lo:hi]
+		oldI := perm[newI]
+		cols, vals := a.Row(oldI)
+		for k, j := range cols {
+			if p := searchRow(lcols, inv[j]); p >= 0 {
+				lu.Val[lo+p] = vals[k]
+			}
+		}
+	})
+}
+
+// factorUpper runs the upper stage: up-looking elimination of rows
+// [0, NUpper) driven by the p2p schedule. Each row is fully
+// eliminated (its dependencies are all upper rows) and finished.
+func (e *Engine) factorUpper() error {
+	var firstErr atomic.Value
+	e.schedL.Run(func(r int) {
+		comp, err := eliminatePivots(e.factor, r, 0, r)
+		if err == nil {
+			err = e.finishRow(r, comp)
+		}
+		if err != nil {
+			// Record the first error; later rows may divide by a bad
+			// pivot but the factorization is already condemned.
+			firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+		}
+	})
+	if v := firstErr.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
+}
+
+// factorLowerER is the Even-Rows method (paper Fig. 7/8): phase 1
+// eliminates, for every lower row in parallel, the pivot columns that
+// live in the upper stage (those rows are final); phase 2 factors the
+// corner serially in ascending row order, preserving exact up-looking
+// arithmetic order.
+func (e *Engine) factorLowerER() error {
+	nUp, n := e.split.NUpper, e.n
+	nLower := n - nUp
+	if nLower == 0 {
+		return nil
+	}
+	var firstErr atomic.Value
+	comps := e.lower.comp
+	// Phase 1: FACTOR_L — dynamic schedule, chunk 1 (the paper's
+	// OpenMP DYNAMIC/CHUNK_SIZE=1 configuration).
+	util.ParallelForDynamic(nLower, e.opt.Threads, 1, func(i int) {
+		r := nUp + i
+		comp, err := eliminatePivots(e.factor, r, 0, nUp)
+		if err != nil {
+			firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+			return
+		}
+		comps[i] = comp
+	})
+	if v := firstErr.Load(); v != nil {
+		return v.(error)
+	}
+	// Phase 2: FACTOR_LU on the corner, serial.
+	for r := nUp; r < n; r++ {
+		comp, err := eliminatePivots(e.factor, r, nUp, r)
+		if err != nil {
+			return err
+		}
+		if err := e.finishRow(r, comp+comps[r-nUp]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// factorLowerSR is the Segmented-Rows method (paper Fig. 5/6). Lower
+// rows' sub-diagonal entries are grouped into subblocks by the upper
+// level of their column; within a level the columns are independent
+// (guaranteed by the lower(A+Aᵀ) level order), so each level is
+// processed as DIVIDE tiles followed by row-partitioned UPDATE tiles
+// on the task pool, and finally the corner is factored level-group by
+// level-group (or serially under Options.SerialCorner).
+func (e *Engine) factorLowerSR() error {
+	lp := e.lower
+	if lp == nil || e.split.NLower() == 0 {
+		return nil
+	}
+	lu := e.factor.LU
+	var firstErr atomic.Value
+	recordErr := func(err error) {
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+	}
+
+	for li := range lp.srLevels {
+		lvl := &lp.srLevels[li]
+		if len(lvl.spans) == 0 {
+			continue
+		}
+		// DIVIDE_COLUMNS: val[k] /= U[j,j] for each entry in the level.
+		e.runTiles(lvl.divTiles, func(t tileRange) {
+			for si := t.lo; si < t.hi; si++ {
+				sp := lvl.spans[si]
+				for k := sp.kLo; k < sp.kHi; k++ {
+					j := lu.ColIdx[k]
+					piv := lu.Val[e.factor.DiagPos[j]]
+					if piv == 0 || piv < pivotFloor && piv > -pivotFloor {
+						recordErr(fmt.Errorf("core: SR zero pivot at column %d", j))
+						return
+					}
+					lu.Val[k] /= piv
+				}
+			}
+		})
+		if v := firstErr.Load(); v != nil {
+			return v.(error)
+		}
+		// UPDATE_BLOCK: for each span (one row's entries in this
+		// level), apply the merge updates into that row. Spans are
+		// row-disjoint, so tiles can run concurrently.
+		e.runTiles(lvl.updTiles, func(t tileRange) {
+			for si := t.lo; si < t.hi; si++ {
+				sp := lvl.spans[si]
+				comp := applyUpdates(e, sp)
+				if e.opt.Modified {
+					e.lower.comp[sp.row-e.split.NUpper] += comp
+				}
+			}
+		})
+	}
+
+	// FACTOR_LU on the corner.
+	return e.factorCorner()
+}
+
+// applyUpdates subtracts, for each already-divided pivot entry in the
+// span, lij × U-row(j) from row sp.row (merge walk), mirroring the
+// second half of eliminatePivots.
+func applyUpdates(e *Engine, sp rowSpan) (comp float64) {
+	lu := e.factor.LU
+	hi := lu.RowPtr[sp.row+1]
+	for k := sp.kLo; k < sp.kHi; k++ {
+		j := lu.ColIdx[k]
+		lij := lu.Val[k]
+		kk := e.factor.DiagPos[j] + 1
+		ujEnd := lu.RowPtr[j+1]
+		k2 := k + 1
+		for kk < ujEnd {
+			uc := lu.ColIdx[kk]
+			for k2 < hi && lu.ColIdx[k2] < uc {
+				k2++
+			}
+			if k2 < hi && lu.ColIdx[k2] == uc {
+				lu.Val[k2] -= lij * lu.Val[kk]
+				k2++
+			} else {
+				comp -= lij * lu.Val[kk]
+			}
+			kk++
+		}
+	}
+	return comp
+}
+
+// factorCorner factors the trailing (lower × lower) block. Rows are
+// grouped by their original level; rows within a group are mutually
+// independent under the lower(A+Aᵀ) order, so each group runs in
+// parallel with a barrier between groups — unless SerialCorner.
+func (e *Engine) factorCorner() error {
+	nUp, n := e.split.NUpper, e.n
+	if e.opt.SerialCorner || e.split.NumLowerLevels() <= 1 && n-nUp <= 64 {
+		for r := nUp; r < n; r++ {
+			comp, err := eliminatePivots(e.factor, r, nUp, r)
+			if err != nil {
+				return err
+			}
+			if err := e.finishRow(r, comp+e.lower.comp[r-nUp]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var firstErr atomic.Value
+	for g := 0; g < e.split.NumLowerLevels(); g++ {
+		lo := nUp + e.split.LowerLvlPtr[g]
+		hi := nUp + e.split.LowerLvlPtr[g+1]
+		util.ParallelForDynamic(hi-lo, e.opt.Threads, 1, func(i int) {
+			r := lo + i
+			comp, err := eliminatePivots(e.factor, r, nUp, r)
+			if err == nil {
+				err = e.finishRow(r, comp+e.lower.comp[r-nUp])
+			}
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+			}
+		})
+		if v := firstErr.Load(); v != nil {
+			return v.(error)
+		}
+	}
+	return nil
+}
+
+// runTiles dispatches tile bodies on the task pool (or inline when the
+// pool is absent / single tile).
+func (e *Engine) runTiles(tiles []tileRange, body func(tileRange)) {
+	if e.pool == nil || len(tiles) <= 1 {
+		for _, t := range tiles {
+			body(t)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(tiles))
+	for _, t := range tiles {
+		t := t
+		e.pool.Submit(func() {
+			defer wg.Done()
+			body(t)
+		})
+	}
+	wg.Wait()
+}

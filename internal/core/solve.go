@@ -1,0 +1,184 @@
+package core
+
+import (
+	"sync"
+
+	"javelin/internal/util"
+)
+
+// SolveLower solves L·x = b on the engine's permuted indexing, where
+// L is the unit-lower factor. b and x are length-N slices in the
+// PERMUTED ordering (use Apply for the user-ordering round trip);
+// b and x may alias.
+//
+// Structure (paper Section VI): upper-stage rows run under the same
+// p2p schedule as factorization; lower-stage rows then perform an
+// spmv-like tiled sweep against the already-computed upper x, and the
+// corner is solved group-parallel.
+func (e *Engine) SolveLower(b, x []float64) {
+	lu := e.factor.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	if e.opt.Threads == 1 {
+		// Plain forward substitution: the schedule machinery only
+		// costs here (no dependencies to honor with one worker).
+		for r := 0; r < e.n; r++ {
+			s := x[r]
+			for k := lu.RowPtr[r]; k < lu.RowPtr[r+1]; k++ {
+				c := lu.ColIdx[k]
+				if c >= r {
+					break
+				}
+				s -= lu.Val[k] * x[c]
+			}
+			x[r] = s
+		}
+		return
+	}
+	// Upper stage.
+	e.schedL.Run(func(r int) {
+		s := x[r]
+		lo := lu.RowPtr[r]
+		for k := lo; k < lu.RowPtr[r+1]; k++ {
+			c := lu.ColIdx[k]
+			if c >= r {
+				break
+			}
+			s -= lu.Val[k] * x[c]
+		}
+		x[r] = s
+	})
+	nUp, n := e.split.NUpper, e.n
+	if nUp == n {
+		return
+	}
+	// Lower stage, part 1: subtract the L(lower, upper)·x contribution
+	// with the solve tiles (row-disjoint spans → race-free).
+	lp := e.lower
+	e.runTiles(lp.solveTiles, func(t tileRange) {
+		for si := t.lo; si < t.hi; si++ {
+			sp := lp.solveSpans[si]
+			s := 0.0
+			for k := sp.kLo; k < sp.kHi; k++ {
+				s += lu.Val[k] * x[lu.ColIdx[k]]
+			}
+			x[sp.row] -= s
+		}
+	})
+	// Lower stage, part 2: corner solve, group-parallel (rows within a
+	// group are independent; groups in ascending order).
+	for g := 0; g < e.split.NumLowerLevels(); g++ {
+		lo := nUp + e.split.LowerLvlPtr[g]
+		hi := nUp + e.split.LowerLvlPtr[g+1]
+		e.parallelRows(lo, hi, func(r int) {
+			s := x[r]
+			for k := lu.RowPtr[r]; k < lu.RowPtr[r+1]; k++ {
+				c := lu.ColIdx[k]
+				if c >= r {
+					break
+				}
+				if c >= nUp {
+					s -= lu.Val[k] * x[c]
+				}
+			}
+			x[r] = s
+		})
+	}
+}
+
+// SolveUpper solves U·x = b on the permuted indexing (b, x length N,
+// may alias). The traversal order mirrors SolveLower reversed: the
+// corner is solved first (groups descending), then the upper-stage
+// rows under the backward p2p schedule.
+func (e *Engine) SolveUpper(b, x []float64) {
+	lu := e.factor.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	if e.opt.Threads == 1 {
+		for r := e.n - 1; r >= 0; r-- {
+			dp := e.factor.DiagPos[r]
+			s := x[r]
+			for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
+				s -= lu.Val[k] * x[lu.ColIdx[k]]
+			}
+			x[r] = s / lu.Val[dp]
+		}
+		return
+	}
+	nUp, n := e.split.NUpper, e.n
+	if nUp < n {
+		for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
+			lo := nUp + e.split.LowerLvlPtr[g]
+			hi := nUp + e.split.LowerLvlPtr[g+1]
+			e.parallelRows(lo, hi, func(r int) {
+				dp := e.factor.DiagPos[r]
+				s := x[r]
+				for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
+					s -= lu.Val[k] * x[lu.ColIdx[k]]
+				}
+				x[r] = s / lu.Val[dp]
+			})
+		}
+	}
+	e.schedU.Run(func(r int) {
+		dp := e.factor.DiagPos[r]
+		s := x[r]
+		for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
+			s -= lu.Val[k] * x[lu.ColIdx[k]]
+		}
+		x[r] = s / lu.Val[dp]
+	})
+}
+
+// Apply applies the preconditioner in USER ordering: z ≈ A⁻¹ r via
+// z = P⁻¹ U⁻¹ L⁻¹ P r. r and z must have length N and may alias.
+// Not safe for concurrent calls (shared scratch).
+func (e *Engine) Apply(r, z []float64) {
+	perm := e.split.Perm
+	perm.ApplyVec(r, e.tmp1)
+	e.SolveLower(e.tmp1, e.tmp1)
+	e.SolveUpper(e.tmp1, e.tmp2)
+	perm.ApplyVecInverse(e.tmp2, z)
+}
+
+// parallelRows runs body(r) for r in [lo, hi) using the task pool when
+// present (SR) or a dynamic parallel-for (ER/None), falling back to
+// inline execution for small ranges where spawning costs more than
+// the work.
+func (e *Engine) parallelRows(lo, hi int, body func(r int)) {
+	n := hi - lo
+	if n <= 0 {
+		return
+	}
+	if n < 2*e.opt.Threads || e.opt.Threads == 1 {
+		for r := lo; r < hi; r++ {
+			body(r)
+		}
+		return
+	}
+	if e.pool != nil {
+		const chunk = 16
+		var wg sync.WaitGroup
+		for s := lo; s < hi; s += chunk {
+			s := s
+			t := s + chunk
+			if t > hi {
+				t = hi
+			}
+			wg.Add(1)
+			e.pool.Submit(func() {
+				defer wg.Done()
+				for r := s; r < t; r++ {
+					body(r)
+				}
+			})
+		}
+		wg.Wait()
+		return
+	}
+	util.ParallelForDynamic(n, e.opt.Threads, 8, func(i int) {
+		body(lo + i)
+	})
+}

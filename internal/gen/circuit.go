@@ -1,0 +1,171 @@
+package gen
+
+import (
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+// CircuitOptions shapes a synthetic circuit-simulation matrix.
+// Circuit matrices (scircuit, ASIC_*, trans4, transient in the paper)
+// are very sparse (RD 2.5–6.5), irregular, have a few extremely dense
+// rows (power/ground rails), and mix symmetric-pattern conductance
+// stamps with unsymmetric controlled-source stamps.
+type CircuitOptions struct {
+	N         int
+	AvgDeg    int     // average local connections per node
+	NumHubs   int     // rail nodes with very high degree
+	HubDeg    int     // connections per rail
+	UnsymFrac float64 // fraction of stamps inserted one-sided
+	Locality  int     // local links fall within ±Locality of the node id
+	Seed      uint64
+}
+
+// Circuit builds a synthetic circuit matrix. Values form a strictly
+// diagonally dominant M-matrix-like stamp, so ILU(0) exists.
+func Circuit(o CircuitOptions) *sparse.CSR {
+	rng := util.NewRNG(o.Seed)
+	if o.AvgDeg < 1 {
+		o.AvgDeg = 3
+	}
+	if o.Locality < 2 {
+		o.Locality = 64
+	}
+	n := o.N
+	coo := sparse.NewCOO(n, n, n*(o.AvgDeg+2))
+	absRowSum := make([]float64, n)
+	stamp := func(i, j int, v float64, sym bool) {
+		if i == j {
+			return
+		}
+		coo.Add(i, j, v)
+		absRowSum[i] += abs(v)
+		if sym {
+			coo.Add(j, i, v)
+			absRowSum[j] += abs(v)
+		}
+	}
+	// Local sparse connections: probabilistic chain + random near
+	// links. The chain is sparse (30%) so the natural order does not
+	// degenerate into one long dependency path — real netlists have
+	// short local paths, not a global ring.
+	for i := 0; i < n; i++ {
+		if i+1 < n && rng.Float64() < 0.3 {
+			stamp(i, i+1, -(0.5 + rng.Float64()), true)
+		}
+		extra := rng.Intn(o.AvgDeg)
+		for e := 0; e < extra; e++ {
+			d := rng.Intn(2*o.Locality) - o.Locality
+			j := i + d
+			if j < 0 || j >= n || j == i {
+				continue
+			}
+			v := -(0.1 + rng.Float64())
+			stamp(i, j, v, rng.Float64() >= o.UnsymFrac)
+		}
+	}
+	// Rail nodes.
+	for h := 0; h < o.NumHubs; h++ {
+		hub := rng.Intn(n)
+		for c := 0; c < o.HubDeg; c++ {
+			j := rng.Intn(n)
+			if j == hub {
+				continue
+			}
+			stamp(hub, j, -(0.05 + 0.5*rng.Float64()), true)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+0.5+rng.Float64())
+	}
+	return coo.ToCSR()
+}
+
+// PowerFlowOptions shapes a synthetic optimal-power-flow matrix
+// (TSOPF analogue): nearly block-dense diagonal blocks chained
+// together, giving a very high row density and an unsymmetric
+// pattern.
+type PowerFlowOptions struct {
+	Blocks    int // number of diagonal blocks
+	BlockSize int // rows per block
+	BlockFill float64
+	ChainSpan int // how many previous blocks each block couples to
+	Seed      uint64
+}
+
+// PowerFlow builds the TSOPF-like matrix.
+func PowerFlow(o PowerFlowOptions) *sparse.CSR {
+	rng := util.NewRNG(o.Seed)
+	n := o.Blocks * o.BlockSize
+	est := int(float64(n*o.BlockSize)*o.BlockFill) + n*4
+	coo := sparse.NewCOO(n, n, est)
+	absRowSum := make([]float64, n)
+	add := func(i, j int, v float64) {
+		if i == j {
+			return
+		}
+		coo.Add(i, j, v)
+		absRowSum[i] += abs(v)
+	}
+	for b := 0; b < o.Blocks; b++ {
+		base := b * o.BlockSize
+		// Dense-ish diagonal block, unsymmetric fill.
+		for r := 0; r < o.BlockSize; r++ {
+			for c := 0; c < o.BlockSize; c++ {
+				if r == c {
+					continue
+				}
+				if rng.Float64() < o.BlockFill {
+					add(base+r, base+c, (rng.Float64()-0.5)*0.2)
+				}
+			}
+		}
+		// Chain coupling to previous blocks.
+		for s := 1; s <= o.ChainSpan && b-s >= 0; s++ {
+			pbase := (b - s) * o.BlockSize
+			links := o.BlockSize / 2
+			for l := 0; l < links; l++ {
+				r := rng.Intn(o.BlockSize)
+				c := rng.Intn(o.BlockSize)
+				add(base+r, pbase+c, (rng.Float64()-0.5)*0.1)
+				if rng.Float64() < 0.5 {
+					add(pbase+c, base+r, (rng.Float64()-0.5)*0.1)
+				}
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+1.0)
+	}
+	return coo.ToCSR()
+}
+
+// BandedDevice builds a banded semiconductor-device matrix (wang3
+// analogue): seven jittered diagonals, symmetric pattern, mildly
+// unsymmetric values.
+func BandedDevice(n int, seed uint64) *sparse.CSR {
+	rng := util.NewRNG(seed)
+	nx := 1
+	for nx*nx*nx < n {
+		nx++
+	}
+	offsets := []int{1, nx, nx * nx}
+	coo := sparse.NewCOO(n, n, n*7)
+	absRowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for _, d := range offsets {
+			j := i + d
+			if j >= n {
+				continue
+			}
+			v := -(0.5 + rng.Float64())
+			coo.Add(i, j, v)
+			coo.Add(j, i, v*(0.9+0.2*rng.Float64()))
+			absRowSum[i] += abs(v)
+			absRowSum[j] += abs(v) * 1.1
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+1.0)
+	}
+	return coo.ToCSR()
+}

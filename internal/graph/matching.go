@@ -1,0 +1,112 @@
+package graph
+
+import "javelin/internal/sparse"
+
+// MaxBipartiteMatching computes a maximum matching of rows to columns
+// in the bipartite graph of the pattern of a, using Hopcroft–Karp.
+// matchRow[i] is the column matched to row i (-1 if unmatched), and
+// matchCol[j] the row matched to column j.
+//
+// Javelin uses this for the Dulmage–Mendelsohn style preprocessing
+// that moves nonzeros onto the diagonal before ordering (the paper's
+// first preordering step).
+func MaxBipartiteMatching(a *sparse.CSR) (matchRow, matchCol []int) {
+	n, m := a.N, a.M
+	matchRow = make([]int, n)
+	matchCol = make([]int, m)
+	for i := range matchRow {
+		matchRow[i] = -1
+	}
+	for j := range matchCol {
+		matchCol[j] = -1
+	}
+
+	const inf = int(^uint(0) >> 1)
+	dist := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for i := 0; i < n; i++ {
+			if matchRow[i] == -1 {
+				dist[i] = 0
+				queue = append(queue, i)
+			} else {
+				dist[i] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			i := queue[qi]
+			cols, _ := a.Row(i)
+			for _, j := range cols {
+				i2 := matchCol[j]
+				if i2 == -1 {
+					found = true
+				} else if dist[i2] == inf {
+					dist[i2] = dist[i] + 1
+					queue = append(queue, i2)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(i int) bool
+	dfs = func(i int) bool {
+		cols, _ := a.Row(i)
+		for _, j := range cols {
+			i2 := matchCol[j]
+			if i2 == -1 || (dist[i2] == dist[i]+1 && dfs(i2)) {
+				matchRow[i] = j
+				matchCol[j] = i
+				return true
+			}
+		}
+		dist[i] = inf
+		return false
+	}
+
+	for bfs() {
+		for i := 0; i < n; i++ {
+			if matchRow[i] == -1 {
+				dfs(i)
+			}
+		}
+	}
+	return matchRow, matchCol
+}
+
+// ZeroFreeDiagonalPerm returns a row permutation p (p[new] = old row)
+// such that the permuted matrix has nonzero diagonal entries wherever
+// a perfect matching exists. Unmatched rows are assigned remaining
+// columns arbitrarily (the matrix is then structurally singular; ILU
+// callers detect the missing diagonal separately).
+func ZeroFreeDiagonalPerm(a *sparse.CSR) sparse.Perm {
+	if a.N != a.M {
+		panic("graph: ZeroFreeDiagonalPerm requires a square matrix")
+	}
+	_, matchCol := MaxBipartiteMatching(a)
+	n := a.N
+	p := make(sparse.Perm, n)
+	usedRow := make([]bool, n)
+	for j := 0; j < n; j++ {
+		if matchCol[j] >= 0 {
+			p[j] = matchCol[j] // row matchCol[j] moves to position j
+			usedRow[matchCol[j]] = true
+		} else {
+			p[j] = -1
+		}
+	}
+	free := 0
+	for j := 0; j < n; j++ {
+		if p[j] == -1 {
+			for usedRow[free] {
+				free++
+			}
+			p[j] = free
+			usedRow[free] = true
+		}
+	}
+	return p
+}

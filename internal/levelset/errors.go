@@ -1,0 +1,15 @@
+package levelset
+
+import "fmt"
+
+func errLevelOrder(i, j, li, lj int) error {
+	return fmt.Errorf("levelset: row %d (level %d) depends on row %d (level %d); dependency must cross levels upward", i, li, j, lj)
+}
+
+func errUnsorted(l int) error {
+	return fmt.Errorf("levelset: rows of level %d are not sorted", l)
+}
+
+func errGroup(r, l, actual int) error {
+	return fmt.Errorf("levelset: row %d grouped under level %d but has level %d", r, l, actual)
+}

@@ -1,0 +1,142 @@
+package order
+
+import (
+	"container/heap"
+
+	"javelin/internal/graph"
+	"javelin/internal/sparse"
+)
+
+// ComputeAMD returns a minimum-degree ordering of a. The
+// implementation is a quotient-graph-free classical minimum degree
+// with lazy degree updates via a priority heap: at each step the
+// vertex of (approximately) minimum current degree is eliminated and
+// its neighborhood is turned into a clique in a compressed element
+// representation.
+//
+// It fills the SYMAMD role in the paper's Table II: a fill-reducing
+// ordering that, like AMD, tends to raise PCG iteration counts
+// relative to RCM and the natural order.
+func ComputeAMD(a *sparse.CSR) sparse.Perm {
+	g := graph.FromMatrix(a)
+	n := g.N
+
+	// Element-absorption representation: each vertex keeps a list of
+	// plain neighbors and a list of elements (eliminated cliques) it
+	// belongs to. Degree(v) ≈ |plain| + Σ |element members| (approximate,
+	// as in AMD, counting overlaps once lazily).
+	adj := make([][]int, n)     // live plain neighbors
+	elems := make([][]int, n)   // element ids adjacent to v
+	elemVtx := make([][]int, 0) // element id -> live member vertices
+	eliminated := make([]bool, n)
+
+	for v := 0; v < n; v++ {
+		adj[v] = append([]int(nil), g.Neighbors(v)...)
+	}
+
+	approxDeg := func(v int) int {
+		d := len(adj[v])
+		for _, e := range elems[v] {
+			d += len(elemVtx[e]) - 1
+		}
+		return d
+	}
+
+	h := &degHeap{}
+	heap.Init(h)
+	stamp := make([]int, n) // heap entry version to invalidate stale items
+	for v := 0; v < n; v++ {
+		heap.Push(h, degItem{v: v, deg: approxDeg(v), stamp: 0})
+	}
+
+	p := make(sparse.Perm, 0, n)
+	mark := make([]int, n)
+	markGen := 0
+
+	for len(p) < n {
+		var v int
+		for {
+			it := heap.Pop(h).(degItem)
+			if !eliminated[it.v] && it.stamp == stamp[it.v] {
+				v = it.v
+				break
+			}
+		}
+		eliminated[v] = true
+		p = append(p, v)
+
+		// Gather the neighborhood of v: plain neighbors plus members
+		// of adjacent elements.
+		markGen++
+		var nbhd []int
+		addNb := func(w int) {
+			if !eliminated[w] && mark[w] != markGen {
+				mark[w] = markGen
+				nbhd = append(nbhd, w)
+			}
+		}
+		for _, w := range adj[v] {
+			addNb(w)
+		}
+		for _, e := range elems[v] {
+			for _, w := range elemVtx[e] {
+				addNb(w)
+			}
+		}
+
+		// Create the new element from v's neighborhood; absorb v's old
+		// elements (they are subsets of the new one).
+		eid := len(elemVtx)
+		elemVtx = append(elemVtx, nbhd)
+		absorbed := make(map[int]bool, len(elems[v]))
+		for _, e := range elems[v] {
+			absorbed[e] = true
+			elemVtx[e] = nil
+		}
+
+		for _, w := range nbhd {
+			// Drop eliminated/duplicate plain neighbors and v itself.
+			live := adj[w][:0]
+			for _, u := range adj[w] {
+				if u != v && !eliminated[u] && mark[u] != markGen {
+					live = append(live, u)
+				}
+			}
+			adj[w] = live
+			// Replace absorbed elements with the new one.
+			le := elems[w][:0]
+			for _, e := range elems[w] {
+				if !absorbed[e] && elemVtx[e] != nil {
+					le = append(le, e)
+				}
+			}
+			elems[w] = append(le, eid)
+			stamp[w]++
+			heap.Push(h, degItem{v: w, deg: approxDeg(w), stamp: stamp[w]})
+		}
+	}
+	return p
+}
+
+type degItem struct {
+	v, deg, stamp int
+}
+
+type degHeap []degItem
+
+func (h degHeap) Len() int { return len(h) }
+func (h degHeap) Less(i, j int) bool {
+	if h[i].deg != h[j].deg {
+		return h[i].deg < h[j].deg
+	}
+	return h[i].v < h[j].v
+}
+func (h degHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *degHeap) Push(x any)   { *h = append(*h, x.(degItem)) }
+func (h *degHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,33 @@
+package order
+
+import (
+	"testing"
+
+	"javelin/internal/ilu"
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+func newTestRNG() *util.RNG { return util.NewRNG(0xDECAF) }
+
+// ilu1Fill returns the nnz of the ILU(1) symbolic pattern — a cheap
+// fill proxy for ordering-quality comparisons.
+func ilu1Fill(t *testing.T, a *sparse.CSR) int {
+	t.Helper()
+	p, err := ilu.SymbolicPattern(a, 1)
+	if err != nil {
+		t.Fatalf("SymbolicPattern: %v", err)
+	}
+	return p.Nnz()
+}
+
+// exactFill returns the nnz of the full symbolic factorization
+// (level-of-fill bound = N admits every fill entry).
+func exactFill(t *testing.T, a *sparse.CSR) int {
+	t.Helper()
+	p, err := ilu.SymbolicPattern(a, a.N)
+	if err != nil {
+		t.Fatalf("SymbolicPattern: %v", err)
+	}
+	return p.Nnz()
+}

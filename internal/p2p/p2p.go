@@ -1,0 +1,196 @@
+// Package p2p implements the point-to-point synchronization scheme of
+// Park et al. that Javelin uses in place of per-level barriers
+// (paper Section III-A, Fig. 4).
+//
+// Rows of each level are dealt round-robin to worker threads. Because
+// a worker processes its rows in ascending (level, deal) order, the
+// assignment induces an implied total order per worker: when worker t
+// has published progress counter c, every row dealt to t with deal
+// index < c is complete. The full dependency set of a row is therefore
+// pruned to at most one wait per producing worker — the maximum deal
+// index among its dependencies on that worker — and waits become cheap
+// spins on per-worker atomic counters, letting fast threads run ahead
+// of slow ones instead of stalling at a barrier.
+package p2p
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheLinePad separates per-worker counters to avoid false sharing;
+// 64 bytes is the common x86 line, 128 covers adjacent-line prefetch.
+const cacheLinePad = 128
+
+type paddedCounter struct {
+	v atomic.Int64
+	_ [cacheLinePad - 8]byte
+}
+
+// DepFunc enumerates the dependency rows of a row by calling emit for
+// each. Dependencies outside the scheduled row set are ignored.
+type DepFunc func(row int, emit func(dep int))
+
+// Schedule is a p2p execution plan: an assignment of rows to workers
+// and pruned dependency lists. Build once per (pattern, workers) and
+// execute many times (Reset between runs is handled by Run).
+type Schedule struct {
+	Workers int
+	// RowOf[w] lists the rows of worker w in execution order
+	// (level-major, round-robin dealt within each level).
+	RowOf [][]int
+
+	ownerOf []int32 // -1 when the row is not scheduled
+	seqOf   []int32
+
+	// Pruned dependencies, flattened per worker: for worker w's k-th
+	// row, entries depPtr[w][k] .. depPtr[w][k+1] are indices into
+	// depW/depS giving (producer worker, required sequence).
+	depPtr [][]int32
+	depW   [][]int32
+	depS   [][]int32
+
+	progress []paddedCounter
+}
+
+// NewSchedule builds a plan for rows grouped into levels (levels[l] is
+// the slice of row ids in level l; rows within a level must be
+// mutually independent). n is the total row-id space (ids < n). deps
+// enumerates each row's dependency rows; dependencies on rows not
+// present in levels are ignored (the caller guarantees they complete
+// before Run starts — e.g. upper-stage rows during a lower-stage run).
+func NewSchedule(levels [][]int, n, workers int, deps DepFunc) *Schedule {
+	if workers < 1 {
+		workers = 1
+	}
+	s := &Schedule{
+		Workers: workers,
+		RowOf:   make([][]int, workers),
+		ownerOf: make([]int32, n),
+		seqOf:   make([]int32, n),
+		depPtr:  make([][]int32, workers),
+		depW:    make([][]int32, workers),
+		depS:    make([][]int32, workers),
+	}
+	for i := range s.ownerOf {
+		s.ownerOf[i] = -1
+	}
+	// Deal each level's rows to workers in contiguous blocks: adjacent
+	// rows share cache lines of the solution/factor arrays, so blocked
+	// dealing avoids the false sharing a round-robin deal would cause,
+	// while still inducing the per-worker implied order the pruning
+	// relies on.
+	for _, rows := range levels {
+		nr := len(rows)
+		chunk := (nr + workers - 1) / workers
+		if chunk < 1 {
+			chunk = 1
+		}
+		for k, r := range rows {
+			w := k / chunk
+			if w >= workers {
+				w = workers - 1
+			}
+			s.ownerOf[r] = int32(w)
+			s.seqOf[r] = int32(len(s.RowOf[w]))
+			s.RowOf[w] = append(s.RowOf[w], r)
+		}
+	}
+	// Prune: per row, keep only the max sequence per producing worker;
+	// drop same-worker dependencies (implied by program order).
+	maxSeq := make([]int32, workers)
+	for w := 0; w < workers; w++ {
+		s.depPtr[w] = make([]int32, len(s.RowOf[w])+1)
+		for k, r := range s.RowOf[w] {
+			for i := range maxSeq {
+				maxSeq[i] = -1
+			}
+			deps(r, func(dep int) {
+				if dep < 0 || dep >= n {
+					return
+				}
+				ow := s.ownerOf[dep]
+				if ow < 0 {
+					return
+				}
+				if os := s.seqOf[dep]; os > maxSeq[ow] {
+					maxSeq[ow] = os
+				}
+			})
+			for ow := 0; ow < workers; ow++ {
+				if ms := maxSeq[ow]; ms >= 0 && ow != w {
+					s.depW[w] = append(s.depW[w], int32(ow))
+					s.depS[w] = append(s.depS[w], ms)
+				}
+			}
+			s.depPtr[w][k+1] = int32(len(s.depW[w]))
+		}
+	}
+	s.progress = make([]paddedCounter, workers)
+	return s
+}
+
+// NumDeps returns the total pruned dependency count (diagnostics).
+func (s *Schedule) NumDeps() int {
+	n := 0
+	for w := 0; w < s.Workers; w++ {
+		n += len(s.depW[w])
+	}
+	return n
+}
+
+// NumRows returns the number of scheduled rows.
+func (s *Schedule) NumRows() int {
+	n := 0
+	for w := 0; w < s.Workers; w++ {
+		n += len(s.RowOf[w])
+	}
+	return n
+}
+
+// Run executes body(row) for every scheduled row, spawning one
+// goroutine per worker, honoring all dependencies via p2p spin waits.
+// body must complete the row before returning.
+func (s *Schedule) Run(body func(row int)) {
+	for i := range s.progress {
+		s.progress[i].v.Store(0)
+	}
+	if s.Workers == 1 {
+		s.runWorker(0, body)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(s.Workers)
+	for w := 0; w < s.Workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			s.runWorker(w, body)
+		}(w)
+	}
+	wg.Wait()
+}
+
+func (s *Schedule) runWorker(w int, body func(row int)) {
+	rows := s.RowOf[w]
+	depPtr, depW, depS := s.depPtr[w], s.depW[w], s.depS[w]
+	for k, r := range rows {
+		for d := depPtr[k]; d < depPtr[k+1]; d++ {
+			ow, need := depW[d], int64(depS[d])+1
+			// Two-phase wait: a short tight spin catches the common
+			// case (producer a few rows ahead) with minimal latency;
+			// afterwards, periodic yields keep waiters from hammering
+			// the producer's cache line and from starving runnable
+			// goroutines when workers exceed cores.
+			spins := 0
+			for s.progress[ow].v.Load() < need {
+				spins++
+				if spins > 512 && spins&63 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}
+		body(r)
+		s.progress[w].v.Store(int64(k + 1))
+	}
+}

@@ -1,0 +1,144 @@
+package sparse
+
+import (
+	"fmt"
+	"sort"
+)
+
+// COO accumulates matrix entries in coordinate (triplet) form.
+// Duplicate entries are summed when converting to CSR, which makes
+// COO convenient for finite-element style assembly in the generators.
+type COO struct {
+	N, M int
+	I    []int
+	J    []int
+	V    []float64
+}
+
+// NewCOO returns an empty N×M coordinate accumulator with capacity
+// hint cap.
+func NewCOO(n, m, capHint int) *COO {
+	return &COO{
+		N: n, M: m,
+		I: make([]int, 0, capHint),
+		J: make([]int, 0, capHint),
+		V: make([]float64, 0, capHint),
+	}
+}
+
+// Add appends entry (i, j, v). Entries may repeat; ToCSR sums them.
+func (c *COO) Add(i, j int, v float64) {
+	if i < 0 || i >= c.N || j < 0 || j >= c.M {
+		panic(fmt.Sprintf("sparse: COO.Add out of range (%d,%d) in %dx%d", i, j, c.N, c.M))
+	}
+	c.I = append(c.I, i)
+	c.J = append(c.J, j)
+	c.V = append(c.V, v)
+}
+
+// AddSym appends (i, j, v) and, when i != j, (j, i, v).
+func (c *COO) AddSym(i, j int, v float64) {
+	c.Add(i, j, v)
+	if i != j {
+		c.Add(j, i, v)
+	}
+}
+
+// Nnz returns the number of accumulated triplets (before dedup).
+func (c *COO) Nnz() int { return len(c.I) }
+
+// ToCSR converts to CSR, summing duplicates and dropping entries that
+// sum exactly to zero is NOT done (structural zeros are preserved so
+// patterns remain deterministic).
+func (c *COO) ToCSR() *CSR {
+	n, m := c.N, c.M
+	nnz := len(c.I)
+	// Count entries per row.
+	rowPtr := make([]int, n+1)
+	for _, i := range c.I {
+		rowPtr[i+1]++
+	}
+	for i := 0; i < n; i++ {
+		rowPtr[i+1] += rowPtr[i]
+	}
+	colIdx := make([]int, nnz)
+	val := make([]float64, nnz)
+	next := make([]int, n)
+	copy(next, rowPtr[:n])
+	for k := 0; k < nnz; k++ {
+		i := c.I[k]
+		p := next[i]
+		colIdx[p] = c.J[k]
+		val[p] = c.V[k]
+		next[i] = p + 1
+	}
+	// Sort each row by column and merge duplicates.
+	outPtr := make([]int, n+1)
+	outCol := colIdx[:0:0]
+	outVal := val[:0:0]
+	outCol = make([]int, 0, nnz)
+	outVal = make([]float64, 0, nnz)
+	for i := 0; i < n; i++ {
+		lo, hi := rowPtr[i], rowPtr[i+1]
+		row := rowSorter{colIdx[lo:hi], val[lo:hi]}
+		sort.Sort(row)
+		for k := lo; k < hi; {
+			j := colIdx[k]
+			s := val[k]
+			k++
+			for k < hi && colIdx[k] == j {
+				s += val[k]
+				k++
+			}
+			outCol = append(outCol, j)
+			outVal = append(outVal, s)
+		}
+		outPtr[i+1] = len(outCol)
+	}
+	return &CSR{N: n, M: m, RowPtr: outPtr, ColIdx: outCol, Val: outVal}
+}
+
+type rowSorter struct {
+	cols []int
+	vals []float64
+}
+
+func (r rowSorter) Len() int           { return len(r.cols) }
+func (r rowSorter) Less(i, j int) bool { return r.cols[i] < r.cols[j] }
+func (r rowSorter) Swap(i, j int) {
+	r.cols[i], r.cols[j] = r.cols[j], r.cols[i]
+	r.vals[i], r.vals[j] = r.vals[j], r.vals[i]
+}
+
+// FromDense builds a CSR from a dense row-major matrix, storing
+// entries with |v| > 0. Intended for tests.
+func FromDense(rows [][]float64) *CSR {
+	n := len(rows)
+	m := 0
+	if n > 0 {
+		m = len(rows[0])
+	}
+	coo := NewCOO(n, m, n*m/4+1)
+	for i, r := range rows {
+		for j, v := range r {
+			if v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// ToDense expands a to a dense row-major matrix. Intended for tests
+// on tiny matrices.
+func (a *CSR) ToDense() [][]float64 {
+	d := make([][]float64, a.N)
+	for i := range d {
+		d[i] = make([]float64, a.M)
+		cols, vals := a.Row(i)
+		for k, j := range cols {
+			d[i][j] = vals[k]
+		}
+	}
+	return d
+}

@@ -1,0 +1,160 @@
+package sparse
+
+import (
+	"fmt"
+
+	"javelin/internal/util"
+)
+
+// Perm represents a permutation: Perm[newIndex] = oldIndex.
+// Applying Perm p to a vector x produces y with y[new] = x[p[new]].
+type Perm []int
+
+// Identity returns the identity permutation of size n.
+func Identity(n int) Perm {
+	p := make(Perm, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// Inverse returns q with q[old] = new.
+func (p Perm) Inverse() Perm {
+	q := make(Perm, len(p))
+	for newI, oldI := range p {
+		q[oldI] = newI
+	}
+	return q
+}
+
+// Compose returns the permutation that applies q after p:
+// result[new] = p[q[new]]. (First p maps old→mid, then q maps mid→new.)
+func (p Perm) Compose(q Perm) Perm {
+	if len(p) != len(q) {
+		panic("sparse: Compose length mismatch")
+	}
+	r := make(Perm, len(p))
+	for i := range r {
+		r[i] = p[q[i]]
+	}
+	return r
+}
+
+// Validate checks that p is a bijection on [0, n).
+func (p Perm) Validate() error {
+	seen := make([]bool, len(p))
+	for i, v := range p {
+		if v < 0 || v >= len(p) {
+			return fmt.Errorf("sparse: perm[%d]=%d out of range", i, v)
+		}
+		if seen[v] {
+			return fmt.Errorf("sparse: perm value %d repeated", v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// ApplyVec scatters x into y using p: y[new] = x[p[new]].
+func (p Perm) ApplyVec(x, y []float64) {
+	for newI, oldI := range p {
+		y[newI] = x[oldI]
+	}
+}
+
+// ApplyVecInverse does the inverse mapping: y[p[new]] = x[new].
+func (p Perm) ApplyVecInverse(x, y []float64) {
+	for newI, oldI := range p {
+		y[oldI] = x[newI]
+	}
+}
+
+// PermuteSym returns P·A·Pᵀ where row/column old p[new] moves to new.
+// The permutation is applied symmetrically, as done for coefficient
+// matrices before factorization. Column indices in each output row
+// are re-sorted. The copy is done in parallel over rows (the paper's
+// "copy ... in parallel allowing for first-touch").
+func PermuteSym(a *CSR, p Perm, threads int) *CSR {
+	n := a.N
+	if len(p) != n || a.M != n {
+		panic("sparse: PermuteSym requires square matrix and matching perm")
+	}
+	inv := p.Inverse()
+	ptr := make([]int, n+1)
+	for newI := 0; newI < n; newI++ {
+		ptr[newI+1] = a.RowLen(p[newI])
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	col := make([]int, ptr[n])
+	val := make([]float64, ptr[n])
+	util.ParallelFor(n, threads, func(newI int) {
+		oldI := p[newI]
+		cols, vals := a.Row(oldI)
+		base := ptr[newI]
+		for k, j := range cols {
+			col[base+k] = inv[j]
+			val[base+k] = vals[k]
+		}
+		sortRow(col[base:base+len(cols)], val[base:base+len(cols)])
+	})
+	return &CSR{N: n, M: n, RowPtr: ptr, ColIdx: col, Val: val}
+}
+
+// PermuteRows returns the matrix with rows reordered by p (columns
+// untouched): out row new = a row p[new].
+func PermuteRows(a *CSR, p Perm) *CSR {
+	n := a.N
+	if len(p) != n {
+		panic("sparse: PermuteRows perm length mismatch")
+	}
+	ptr := make([]int, n+1)
+	for newI := 0; newI < n; newI++ {
+		ptr[newI+1] = ptr[newI] + a.RowLen(p[newI])
+	}
+	col := make([]int, ptr[n])
+	val := make([]float64, ptr[n])
+	for newI := 0; newI < n; newI++ {
+		cols, vals := a.Row(p[newI])
+		copy(col[ptr[newI]:], cols)
+		copy(val[ptr[newI]:], vals)
+	}
+	return &CSR{N: n, M: a.M, RowPtr: ptr, ColIdx: col, Val: val}
+}
+
+// PermuteCols returns the matrix with columns relabelled through p
+// (out column inv[j] = a column j) and rows re-sorted.
+func PermuteCols(a *CSR, p Perm) *CSR {
+	if len(p) != a.M {
+		panic("sparse: PermuteCols perm length mismatch")
+	}
+	inv := p.Inverse()
+	out := a.Clone()
+	for i := 0; i < out.N; i++ {
+		lo, hi := out.RowPtr[i], out.RowPtr[i+1]
+		for k := lo; k < hi; k++ {
+			out.ColIdx[k] = inv[out.ColIdx[k]]
+		}
+		sortRow(out.ColIdx[lo:hi], out.Val[lo:hi])
+	}
+	return out
+}
+
+// sortRow sorts a (cols, vals) pair by ascending column via insertion
+// sort — rows are short in ILU workloads, and insertion sort avoids
+// allocation.
+func sortRow(cols []int, vals []float64) {
+	for i := 1; i < len(cols); i++ {
+		c, v := cols[i], vals[i]
+		j := i - 1
+		for j >= 0 && cols[j] > c {
+			cols[j+1] = cols[j]
+			vals[j+1] = vals[j]
+			j--
+		}
+		cols[j+1] = c
+		vals[j+1] = v
+	}
+}

@@ -1,0 +1,136 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"javelin/internal/gen"
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+func vecsEqual(a, b []float64, tol float64) bool {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	a := gen.TetraMesh(8, 8, 8, 3)
+	x := make([]float64, a.M)
+	rng := util.NewRNG(1)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.N)
+	Serial(a, x, want)
+	got := make([]float64, a.N)
+	for _, threads := range []int{1, 2, 4, 8} {
+		Parallel(a, x, got, threads)
+		if !vecsEqual(want, got, 0) {
+			t.Fatalf("threads=%d mismatch", threads)
+		}
+	}
+}
+
+func TestSegmentedMatchesSerialAcrossTileSizes(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"grid":   gen.GridLaplacian(13, 11, 1, gen.Star5, 1),
+		"skewed": gen.Circuit(gen.CircuitOptions{N: 400, AvgDeg: 3, NumHubs: 3, HubDeg: 150, UnsymFrac: 0.2, Locality: 30, Seed: 2}),
+		"power":  gen.PowerFlow(gen.PowerFlowOptions{Blocks: 6, BlockSize: 25, BlockFill: 0.5, ChainSpan: 2, Seed: 3}),
+	}
+	for name, a := range mats {
+		x := make([]float64, a.M)
+		rng := util.NewRNG(7)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, a.N)
+		Serial(a, x, want)
+		for _, ts := range []int{32, 64, 257, 1024} {
+			s := NewSegmented(a, ts)
+			got := make([]float64, a.N)
+			for _, threads := range []int{1, 3, 8} {
+				for i := range got {
+					got[i] = math.NaN() // poison: every row must be written
+				}
+				s.Mul(x, got, threads)
+				if !vecsEqual(want, got, 1e-12) {
+					t.Fatalf("%s tile=%d threads=%d mismatch", name, ts, threads)
+				}
+			}
+		}
+	}
+}
+
+func TestSegmentedRowSpanningManyTiles(t *testing.T) {
+	// One huge row spanning dozens of tiles plus trailing small rows.
+	n := 40
+	coo := sparse.NewCOO(n, n, 1200)
+	for j := 0; j < n; j++ {
+		coo.Add(0, j, float64(j+1))
+	}
+	for i := 1; i < n; i++ {
+		coo.Add(i, i, 2)
+	}
+	a := coo.ToCSR()
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	want := make([]float64, n)
+	Serial(a, x, want)
+	s := NewSegmented(a, 32) // the big row spans ⌈40/32⌉ tiles… use smaller
+	got := make([]float64, n)
+	s.Mul(x, got, 4)
+	if !vecsEqual(want, got, 1e-12) {
+		t.Fatalf("spanning row mismatch: got[0]=%g want %g", got[0], want[0])
+	}
+}
+
+func TestSegmentedEmptyRows(t *testing.T) {
+	coo := sparse.NewCOO(5, 5, 3)
+	coo.Add(0, 0, 1)
+	coo.Add(4, 4, 2)
+	a := coo.ToCSR()
+	s := NewSegmented(a, 64)
+	x := []float64{1, 1, 1, 1, 1}
+	y := []float64{9, 9, 9, 9, 9} // stale values must be cleared
+	s.Mul(x, y, 2)
+	want := []float64{1, 0, 0, 0, 2}
+	if !vecsEqual(want, y, 0) {
+		t.Fatalf("empty-row handling: %v", y)
+	}
+}
+
+func TestSegmentedPropertyRandom(t *testing.T) {
+	check := func(seed uint64) bool {
+		rng := util.NewRNG(seed)
+		n := 20 + rng.Intn(100)
+		coo := sparse.NewCOO(n, n, n*4)
+		for i := 0; i < n; i++ {
+			k := rng.Intn(6)
+			for e := 0; e < k; e++ {
+				coo.Add(i, rng.Intn(n), rng.NormFloat64())
+			}
+		}
+		a := coo.ToCSR()
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		Serial(a, x, want)
+		s := NewSegmented(a, 32+rng.Intn(100))
+		got := make([]float64, n)
+		s.Mul(x, got, 1+rng.Intn(6))
+		return vecsEqual(want, got, 1e-10)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

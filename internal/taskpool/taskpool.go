@@ -1,0 +1,236 @@
+// Package taskpool provides the "specialized light weight tasking
+// library" the paper says Javelin needs for the Segmented-Rows lower
+// stage: a fixed set of worker goroutines with per-worker LIFO deques
+// and work stealing, avoiding the scheduling overhead the paper
+// observed from a general tasking runtime (OpenMP tasks on KNL).
+//
+// The pool executes batches: Submit queues tasks, Wait blocks until
+// the batch drains. Tasks may submit further tasks. Workers spin
+// briefly then park on a condition variable, so an idle pool costs
+// nothing between batches.
+package taskpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Task is a unit of work.
+type Task func()
+
+// Pool is a work-stealing task pool. Create with New, release with
+// Close. A Pool is safe for concurrent Submit.
+type Pool struct {
+	workers int
+	deques  []deque
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending atomic.Int64
+	closed  atomic.Bool
+	sleep   atomic.Int64 // number of parked workers
+	wg      sync.WaitGroup
+	nextQ   atomic.Int64 // round-robin cursor for external submits
+}
+
+// New creates a pool with the given number of workers (min 1).
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, deques: make([]deque, workers)}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.run(w)
+	}
+	return p
+}
+
+// Workers returns the worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit queues one task.
+func (p *Pool) Submit(t Task) {
+	p.pending.Add(1)
+	q := int(p.nextQ.Add(1)) % p.workers
+	if q < 0 {
+		q = -q
+	}
+	p.deques[q].push(t)
+	p.wake()
+}
+
+// SubmitMany queues tasks spread across worker deques.
+func (p *Pool) SubmitMany(ts []Task) {
+	if len(ts) == 0 {
+		return
+	}
+	p.pending.Add(int64(len(ts)))
+	for i, t := range ts {
+		p.deques[i%p.workers].push(t)
+	}
+	p.wakeAll()
+}
+
+func (p *Pool) wake() {
+	if p.sleep.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Signal()
+		p.mu.Unlock()
+	}
+}
+
+func (p *Pool) wakeAll() {
+	if p.sleep.Load() > 0 {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Wait blocks until all submitted tasks (including recursively
+// submitted ones) have completed. The calling goroutine helps run
+// tasks while waiting, so Wait may be called from inside a task-free
+// context only; do not call Wait from within a Task.
+func (p *Pool) Wait() {
+	spins := 0
+	for p.pending.Load() > 0 {
+		if t := p.trySteal(-1); t != nil {
+			t()
+			p.pending.Add(-1)
+			spins = 0
+			continue
+		}
+		spins++
+		if spins < 128 {
+			runtime.Gosched()
+		} else {
+			// All queues look empty but tasks are in flight; yield
+			// harder rather than park (tasks may spawn more work).
+			runtime.Gosched()
+		}
+	}
+}
+
+// Close shuts the pool down after the current tasks finish.
+func (p *Pool) Close() {
+	p.closed.Store(true)
+	p.wakeAll()
+	p.wg.Wait()
+}
+
+func (p *Pool) run(w int) {
+	defer p.wg.Done()
+	spins := 0
+	for {
+		t := p.deques[w].pop()
+		if t == nil {
+			t = p.trySteal(w)
+		}
+		if t != nil {
+			t()
+			p.pending.Add(-1)
+			spins = 0
+			continue
+		}
+		if p.closed.Load() {
+			return
+		}
+		spins++
+		if spins < 64 {
+			runtime.Gosched()
+			continue
+		}
+		// Park until new work arrives.
+		p.mu.Lock()
+		p.sleep.Add(1)
+		if !p.hasWork() && !p.closed.Load() {
+			p.cond.Wait()
+		}
+		p.sleep.Add(-1)
+		p.mu.Unlock()
+		spins = 0
+	}
+}
+
+func (p *Pool) hasWork() bool {
+	for i := range p.deques {
+		if !p.deques[i].empty() {
+			return true
+		}
+	}
+	return false
+}
+
+// trySteal scans other deques for a task; self == -1 scans all.
+func (p *Pool) trySteal(self int) Task {
+	for i := 0; i < p.workers; i++ {
+		if i == self {
+			continue
+		}
+		if t := p.deques[i].steal(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// deque is a mutex-protected double-ended queue. Owners pop from the
+// back (LIFO, cache-friendly); thieves steal from the front (FIFO,
+// taking the oldest/largest work first). A mutex per deque is
+// competitive with a Chase–Lev deque at the task granularities SR
+// uses (tiles of hundreds of nonzeros), and trivially correct.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+	head  int
+}
+
+func (d *deque) push(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return nil
+	}
+	t := d.tasks[len(d.tasks)-1]
+	d.tasks = d.tasks[:len(d.tasks)-1]
+	d.compact()
+	return t
+}
+
+func (d *deque) steal() Task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.head >= len(d.tasks) {
+		return nil
+	}
+	t := d.tasks[d.head]
+	d.tasks[d.head] = nil
+	d.head++
+	d.compact()
+	return t
+}
+
+func (d *deque) empty() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.head >= len(d.tasks)
+}
+
+func (d *deque) compact() {
+	if d.head >= len(d.tasks) {
+		d.tasks = d.tasks[:0]
+		d.head = 0
+	} else if d.head > 64 && d.head > len(d.tasks)/2 {
+		n := copy(d.tasks, d.tasks[d.head:])
+		d.tasks = d.tasks[:n]
+		d.head = 0
+	}
+}

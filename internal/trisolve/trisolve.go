@@ -1,0 +1,215 @@
+// Package trisolve provides sparse triangular solve (stri)
+// implementations outside the Javelin engine: the serial CSR solves
+// and the barrier-based level-set solver (CSR-LS) that Section VI
+// uses as its baseline. The engine's own p2p/tiled solves live in
+// internal/core; Fig. 12 compares all three.
+package trisolve
+
+import (
+	"sync"
+
+	"javelin/internal/ilu"
+	"javelin/internal/levelset"
+	"javelin/internal/util"
+)
+
+// SolveLowerSerial solves L·x = b where L is the unit-lower part of
+// the factor (forward substitution). b and x may alias.
+func SolveLowerSerial(f *ilu.Factor, b, x []float64) {
+	lu := f.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	for i := 0; i < lu.N; i++ {
+		s := x[i]
+		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+			c := lu.ColIdx[k]
+			if c >= i {
+				break
+			}
+			s -= lu.Val[k] * x[c]
+		}
+		x[i] = s
+	}
+}
+
+// SolveUpperSerial solves U·x = b (backward substitution).
+func SolveUpperSerial(f *ilu.Factor, b, x []float64) {
+	lu := f.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	for i := lu.N - 1; i >= 0; i-- {
+		dp := f.DiagPos[i]
+		s := x[i]
+		for k := dp + 1; k < lu.RowPtr[i+1]; k++ {
+			s -= lu.Val[k] * x[lu.ColIdx[k]]
+		}
+		x[i] = s / lu.Val[dp]
+	}
+}
+
+// CSRLS is the baseline level-set triangular solver: levels computed
+// once, then each solve sweeps the levels with a full thread barrier
+// (WaitGroup join) after every level — exactly the structure the
+// paper criticizes for its synchronization overhead on small levels.
+type CSRLS struct {
+	f       *ilu.Factor
+	threads int
+	// forward (L) levels
+	fwd *levelset.Levels
+	// backward (U) levels: level sets of the reverse DAG
+	bwdPtr  []int
+	bwdRows []int
+}
+
+// NewCSRLS builds the level structures for both sweeps.
+func NewCSRLS(f *ilu.Factor, threads int) *CSRLS {
+	if threads < 1 {
+		threads = 1
+	}
+	s := &CSRLS{f: f, threads: threads}
+	s.fwd = levelset.FromLowerPattern(f.LU)
+	s.buildBackward()
+	return s
+}
+
+func (s *CSRLS) buildBackward() {
+	lu := s.f.LU
+	n := lu.N
+	lvl := make([]int, n)
+	maxL := 0
+	for i := n - 1; i >= 0; i-- {
+		l := 0
+		for k := s.f.DiagPos[i] + 1; k < lu.RowPtr[i+1]; k++ {
+			c := lu.ColIdx[k]
+			if lvl[c]+1 > l {
+				l = lvl[c] + 1
+			}
+		}
+		lvl[i] = l
+		if l > maxL {
+			maxL = l
+		}
+	}
+	count := maxL + 1
+	ptr := make([]int, count+1)
+	for _, l := range lvl {
+		ptr[l+1]++
+	}
+	for l := 0; l < count; l++ {
+		ptr[l+1] += ptr[l]
+	}
+	rows := make([]int, n)
+	next := append([]int(nil), ptr[:count]...)
+	for i := 0; i < n; i++ {
+		rows[next[lvl[i]]] = i
+		next[lvl[i]]++
+	}
+	s.bwdPtr, s.bwdRows = ptr, rows
+}
+
+// NumLevels returns (forward levels, backward levels).
+func (s *CSRLS) NumLevels() (int, int) { return s.fwd.Count, len(s.bwdPtr) - 1 }
+
+// SolveLower performs the forward sweep with a barrier per level.
+func (s *CSRLS) SolveLower(b, x []float64) {
+	lu := s.f.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	for l := 0; l < s.fwd.Count; l++ {
+		rows := s.fwd.LevelRows(l)
+		s.parallelLevel(len(rows), func(i int) {
+			r := rows[i]
+			sum := x[r]
+			for k := lu.RowPtr[r]; k < lu.RowPtr[r+1]; k++ {
+				c := lu.ColIdx[k]
+				if c >= r {
+					break
+				}
+				sum -= lu.Val[k] * x[c]
+			}
+			x[r] = sum
+		})
+	}
+}
+
+// SolveUpper performs the backward sweep with a barrier per level.
+func (s *CSRLS) SolveUpper(b, x []float64) {
+	lu := s.f.LU
+	if &b[0] != &x[0] {
+		copy(x, b)
+	}
+	nLvl := len(s.bwdPtr) - 1
+	for l := 0; l < nLvl; l++ {
+		rows := s.bwdRows[s.bwdPtr[l]:s.bwdPtr[l+1]]
+		s.parallelLevel(len(rows), func(i int) {
+			r := rows[i]
+			dp := s.f.DiagPos[r]
+			sum := x[r]
+			for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
+				sum -= lu.Val[k] * x[lu.ColIdx[k]]
+			}
+			x[r] = sum / lu.Val[dp]
+		})
+	}
+}
+
+// parallelLevel runs a level with a fork-join barrier — the cost the
+// baseline pays on every level, however small. Tiny levels are run
+// inline (the barrier would still dominate; this favors the baseline,
+// making Fig. 12's comparison conservative).
+func (s *CSRLS) parallelLevel(n int, body func(i int)) {
+	if s.threads == 1 || n < 4 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	threads := util.MinInt(s.threads, n)
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= n {
+			break
+		}
+		hi := util.MinInt(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Residual returns ‖L·x − b‖₂ for diagnostics in tests: verifies a
+// forward-solve result against the factor.
+func Residual(f *ilu.Factor, lower bool, x, b []float64) float64 {
+	lu := f.LU
+	n := lu.N
+	r := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		if lower {
+			s = x[i] // unit diagonal
+			for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
+				c := lu.ColIdx[k]
+				if c >= i {
+					break
+				}
+				s += lu.Val[k] * x[c]
+			}
+		} else {
+			for k := f.DiagPos[i]; k < lu.RowPtr[i+1]; k++ {
+				s += lu.Val[k] * x[lu.ColIdx[k]]
+			}
+		}
+		r[i] = s - b[i]
+	}
+	return util.Norm2(r)
+}

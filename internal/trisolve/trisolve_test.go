@@ -1,0 +1,155 @@
+package trisolve
+
+import (
+	"math"
+	"testing"
+
+	"javelin/internal/gen"
+	"javelin/internal/ilu"
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+func factorOf(t testing.TB, a *sparse.CSR) *ilu.Factor {
+	t.Helper()
+	f, err := ilu.Factorize(a, ilu.Options{})
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	return f
+}
+
+func randVec(n int, seed uint64) []float64 {
+	rng := util.NewRNG(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+func TestSerialSolvesInvertTriangles(t *testing.T) {
+	a := gen.GridLaplacian(14, 14, 1, gen.Star5, 1)
+	f := factorOf(t, a)
+	n := a.N
+	b := randVec(n, 1)
+	x := make([]float64, n)
+
+	SolveLowerSerial(f, b, x)
+	if r := Residual(f, true, x, b); r > 1e-10 {
+		t.Errorf("L-solve residual %g", r)
+	}
+	SolveUpperSerial(f, b, x)
+	if r := Residual(f, false, x, b); r > 1e-8 {
+		t.Errorf("U-solve residual %g", r)
+	}
+}
+
+func TestCSRLSMatchesSerial(t *testing.T) {
+	mats := []*sparse.CSR{
+		gen.GridLaplacian(12, 12, 1, gen.Star5, 1),
+		gen.TetraMesh(6, 6, 6, 5),
+		gen.Circuit(gen.CircuitOptions{N: 500, AvgDeg: 4, NumHubs: 2, HubDeg: 40, UnsymFrac: 0.2, Locality: 40, Seed: 9}),
+	}
+	for mi, a := range mats {
+		f := factorOf(t, a)
+		n := a.N
+		b := randVec(n, uint64(mi)+10)
+		want := make([]float64, n)
+		got := make([]float64, n)
+		for _, threads := range []int{1, 2, 4} {
+			s := NewCSRLS(f, threads)
+			SolveLowerSerial(f, b, want)
+			s.SolveLower(b, got)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("matrix %d threads %d: L mismatch at %d (%g vs %g)",
+						mi, threads, i, got[i], want[i])
+				}
+			}
+			SolveUpperSerial(f, b, want)
+			s.SolveUpper(b, got)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+					t.Fatalf("matrix %d threads %d: U mismatch at %d", mi, threads, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCSRLSAliasedInput(t *testing.T) {
+	a := gen.GridLaplacian(10, 10, 1, gen.Star5, 1)
+	f := factorOf(t, a)
+	n := a.N
+	b := randVec(n, 3)
+	want := make([]float64, n)
+	SolveLowerSerial(f, b, want)
+	x := append([]float64(nil), b...)
+	s := NewCSRLS(f, 3)
+	s.SolveLower(x, x)
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatalf("aliased solve mismatch at %d", i)
+		}
+	}
+}
+
+func TestCSRLSLevelCounts(t *testing.T) {
+	// Tridiagonal: n forward levels and n backward levels.
+	n := 30
+	coo := sparse.NewCOO(n, n, 3*n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 4)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+			coo.Add(i-1, i, -1)
+		}
+	}
+	f := factorOf(t, coo.ToCSR())
+	s := NewCSRLS(f, 2)
+	fw, bw := s.NumLevels()
+	if fw != n || bw != n {
+		t.Fatalf("levels %d/%d, want %d/%d", fw, bw, n, n)
+	}
+}
+
+func TestSolveRoundTripLU(t *testing.T) {
+	// x = U⁻¹ L⁻¹ b must satisfy ‖LU·x − b‖ small.
+	a := gen.TetraMesh(7, 7, 7, 8)
+	f := factorOf(t, a)
+	n := a.N
+	b := randVec(n, 4)
+	y := make([]float64, n)
+	x := make([]float64, n)
+	SolveLowerSerial(f, b, y)
+	SolveUpperSerial(f, y, x)
+	// Compute LU·x = L·(U·x).
+	ux := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := 0.0
+		for k := f.DiagPos[i]; k < f.LU.RowPtr[i+1]; k++ {
+			s += f.LU.Val[k] * x[f.LU.ColIdx[k]]
+		}
+		ux[i] = s
+	}
+	lux := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := ux[i]
+		for k := f.LU.RowPtr[i]; k < f.LU.RowPtr[i+1]; k++ {
+			c := f.LU.ColIdx[k]
+			if c >= i {
+				break
+			}
+			s += f.LU.Val[k] * ux[c]
+		}
+		lux[i] = s
+	}
+	diff := 0.0
+	for i := range lux {
+		diff += (lux[i] - b[i]) * (lux[i] - b[i])
+	}
+	if math.Sqrt(diff) > 1e-8*util.Norm2(b) {
+		t.Errorf("LU round trip residual %g", math.Sqrt(diff))
+	}
+}

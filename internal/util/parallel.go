@@ -1,0 +1,126 @@
+package util
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// MaxThreads returns the default degree of parallelism used by Javelin
+// when the caller does not specify one.
+func MaxThreads() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// ParallelFor runs body(i) for i in [0, n) on up to threads workers,
+// dealing iterations in contiguous blocks. threads <= 1 runs inline.
+//
+// Block dealing (rather than striding) keeps memory touched by a worker
+// contiguous, which matters for the first-touch copy paths.
+func ParallelFor(n, threads int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelForDynamic runs body(i) for i in [0, n) with dynamic
+// (atomic-counter) scheduling in chunks of the given size, mirroring
+// OpenMP's schedule(dynamic, chunk) that the paper uses with chunk=1.
+func ParallelForDynamic(n, threads, chunk int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(threads)
+	for t := 0; t < threads; t++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ParallelRanges splits [0, n) into exactly workers contiguous ranges
+// (some possibly empty) and runs body(worker, lo, hi) on each in its
+// own goroutine. Useful when workers need per-worker scratch state.
+func ParallelRanges(n, workers int, body func(worker, lo, hi int)) {
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	if chunk < 1 {
+		chunk = 1
+	}
+	for t := 0; t < workers; t++ {
+		lo := t * chunk
+		if lo > n {
+			lo = n
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			body(t, lo, hi)
+		}(t, lo, hi)
+	}
+	wg.Wait()
+}
