@@ -218,8 +218,50 @@ func Factorize(m *Matrix, opt Options) (*Preconditioner, error) {
 }
 
 // Apply computes z ≈ A⁻¹·r (one ILU preconditioner application) in
-// the user's row ordering. Not safe for concurrent calls.
+// the user's row ordering.
+//
+// Concurrency: the factorized engine is immutable during solves and
+// may be shared by any number of goroutines, but this convenience
+// method routes through one built-in applier, so concurrent Apply
+// calls on the same Preconditioner race with each other. For
+// concurrent application, give each goroutine its own NewApplier —
+// the appliers share all factor and schedule structures and add only
+// two length-N scratch vectors each.
 func (p *Preconditioner) Apply(r, z []float64) { p.e.Apply(r, z) }
+
+// ApplyBatch applies the preconditioner to k right-hand sides at
+// once: Z[j] ≈ A⁻¹·R[j]. The factor is traversed once per row with
+// the update applied to all k vectors, so one level-schedule sweep is
+// amortized over the whole batch — substantially cheaper than k
+// Apply calls. Subject to the same single-caller rule as Apply; use
+// NewApplier for concurrent batches.
+func (p *Preconditioner) ApplyBatch(R, Z [][]float64) { p.e.ApplyBatch(R, Z) }
+
+// Applier is an independent application context over a shared
+// Preconditioner: it holds the per-caller scratch and level-schedule
+// progress state, while the factorization itself stays shared and
+// read-only. Create one per goroutine with NewApplier; a single
+// Applier must not be used from two goroutines at once. An Applier
+// remains valid across Refactorize (but no solve may be in flight
+// while Refactorize runs).
+type Applier struct {
+	ctx *core.SolveContext
+}
+
+// NewApplier creates an independent applier over the shared
+// factorization (cheap: two length-N vectors plus progress counters).
+func (p *Preconditioner) NewApplier() *Applier {
+	return &Applier{ctx: p.e.NewContext()}
+}
+
+// Apply computes z ≈ A⁻¹·r in the user's row ordering. Safe to call
+// concurrently with other Appliers over the same Preconditioner.
+func (a *Applier) Apply(r, z []float64) { a.ctx.Apply(r, z) }
+
+// ApplyBatch applies the preconditioner to k right-hand sides in one
+// amortized sweep (see Preconditioner.ApplyBatch). Safe to call
+// concurrently with other Appliers over the same Preconditioner.
+func (a *Applier) ApplyBatch(R, Z [][]float64) { a.ctx.ApplyBatch(R, Z) }
 
 // Refactorize reuses the symbolic structure on new values (same
 // pattern).
@@ -242,27 +284,78 @@ func (p *Preconditioner) Close() { p.e.Close() }
 // use; treat as read-only.
 func (p *Preconditioner) Engine() *core.Engine { return p.e }
 
-// SolverOptions bounds an iterative solve.
+// SolverOptions bounds an iterative solve. Set Work (a reusable
+// *SolverWorkspace) to make repeated solves allocation-free.
 type SolverOptions = krylov.Options
 
 // SolverStats reports iterations and convergence.
 type SolverStats = krylov.Stats
 
-// SolveCG runs preconditioned conjugate gradients (SPD matrices).
-// Pass nil for no preconditioning.
-func SolveCG(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	var pc krylov.Preconditioner = krylov.Identity{}
+// SolverWorkspace is reusable Krylov solver storage: pass one via
+// SolverOptions.Work and repeated CG/GMRES/BiCGSTAB solves stop
+// allocating. One workspace per goroutine; never share a workspace
+// between concurrent solves.
+type SolverWorkspace = krylov.Workspace
+
+// NewSolverWorkspace returns an empty workspace; the first solve
+// grows it to size.
+func NewSolverWorkspace() *SolverWorkspace { return krylov.NewWorkspace() }
+
+func enginePC(p *Preconditioner) krylov.Preconditioner {
 	if p != nil {
-		pc = p.e
+		return p.e
 	}
-	return krylov.CG(m.csr, pc, b, x, opt)
+	return krylov.Identity{}
 }
 
-// SolveGMRES runs left-preconditioned restarted GMRES.
+// SolveCG runs preconditioned conjugate gradients (SPD matrices).
+// Pass nil for no preconditioning. Uses the preconditioner's built-in
+// applier; for concurrent solves over one preconditioner use
+// SolveCGWith with per-goroutine appliers.
+func SolveCG(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	return krylov.CG(m.csr, enginePC(p), b, x, opt)
+}
+
+// SolveGMRES runs left-preconditioned restarted GMRES. Uses the
+// preconditioner's built-in applier; see SolveGMRESWith for
+// concurrent use.
 func SolveGMRES(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	var pc krylov.Preconditioner = krylov.Identity{}
-	if p != nil {
-		pc = p.e
+	return krylov.GMRES(m.csr, enginePC(p), b, x, opt)
+}
+
+// SolveBiCGSTAB runs preconditioned BiCGSTAB: the unsymmetric-system
+// solver with constant memory (no GMRES restart basis), the right
+// fit when many solver instances run concurrently against one shared
+// preconditioner. Uses the preconditioner's built-in applier; see
+// SolveBiCGSTABWith for concurrent use.
+func SolveBiCGSTAB(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	return krylov.BiCGSTAB(m.csr, enginePC(p), b, x, opt)
+}
+
+func applierPC(a *Applier) krylov.Preconditioner {
+	if a != nil {
+		return a.ctx
 	}
-	return krylov.GMRES(m.csr, pc, b, x, opt)
+	return krylov.Identity{}
+}
+
+// SolveCGWith runs CG applying the preconditioner through the given
+// Applier (nil means unpreconditioned). With one Applier and one
+// SolverWorkspace per goroutine, any number of CG solves may run
+// concurrently against a single shared factorization.
+func SolveCGWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	return krylov.CG(m.csr, applierPC(a), b, x, opt)
+}
+
+// SolveGMRESWith runs GMRES through the given Applier (nil means
+// unpreconditioned); the concurrent-solve counterpart of SolveGMRES.
+func SolveGMRESWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	return krylov.GMRES(m.csr, applierPC(a), b, x, opt)
+}
+
+// SolveBiCGSTABWith runs BiCGSTAB through the given Applier (nil
+// means unpreconditioned); the concurrent-solve counterpart of
+// SolveBiCGSTAB.
+func SolveBiCGSTABWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	return krylov.BiCGSTAB(m.csr, applierPC(a), b, x, opt)
 }

@@ -2,6 +2,7 @@ package javelin
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"testing"
 )
@@ -199,3 +200,167 @@ func TestFactorizeNilMatrix(t *testing.T) {
 		t.Fatal("nil matrix accepted")
 	}
 }
+
+func TestApplierConcurrentSolvesShareOnePreconditioner(t *testing.T) {
+	m := GridLaplacian(40, 40, 1, Star5, 0.2)
+	opt := DefaultOptions()
+	opt.Threads = 2
+	p, err := Factorize(m, opt)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	defer p.Close()
+	n := m.N()
+	// Reference solution through the convenience path.
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = 1 + float64(i%7)
+	}
+	want := make([]float64, n)
+	if st, err := SolveCG(m, p, b, want, SolverOptions{Tol: 1e-10}); err != nil || !st.Converged {
+		t.Fatalf("reference solve: %v %+v", err, st)
+	}
+	const workers = 4
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			ap := p.NewApplier()
+			ws := NewSolverWorkspace()
+			x := make([]float64, n)
+			for rep := 0; rep < 3; rep++ {
+				for i := range x {
+					x[i] = 0
+				}
+				st, err := SolveCGWith(m, ap, b, x, SolverOptions{Tol: 1e-10, Work: ws})
+				if err != nil {
+					done <- err
+					return
+				}
+				if !st.Converged {
+					done <- errNotConverged
+					return
+				}
+				for i := range x {
+					if math.Abs(x[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+						done <- errDiverged
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestApplyBatchAPIEquivalence(t *testing.T) {
+	m := TetraMesh(6, 6, 6, 0x55)
+	p, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	defer p.Close()
+	n := m.N()
+	const k = 4
+	R := make([][]float64, k)
+	Zseq := make([][]float64, k)
+	Zbat := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		R[j] = make([]float64, n)
+		for i := range R[j] {
+			R[j][i] = float64((i*31+j*17)%13) - 6
+		}
+		Zseq[j] = make([]float64, n)
+		Zbat[j] = make([]float64, n)
+		p.Apply(R[j], Zseq[j])
+	}
+	p.ApplyBatch(R, Zbat)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(Zbat[j][i]-Zseq[j][i]) > 1e-12*(1+math.Abs(Zseq[j][i])) {
+				t.Fatalf("batch mismatch RHS %d entry %d: %g vs %g", j, i, Zbat[j][i], Zseq[j][i])
+			}
+		}
+	}
+	// The Applier path must agree too.
+	ap := p.NewApplier()
+	for j := range Zbat {
+		for i := range Zbat[j] {
+			Zbat[j][i] = 0
+		}
+	}
+	ap.ApplyBatch(R, Zbat)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			if math.Abs(Zbat[j][i]-Zseq[j][i]) > 1e-12*(1+math.Abs(Zseq[j][i])) {
+				t.Fatalf("applier batch mismatch RHS %d entry %d", j, i)
+			}
+		}
+	}
+}
+
+func TestSolveBiCGSTABEndToEnd(t *testing.T) {
+	m := TetraMesh(7, 7, 7, 0x99)
+	p, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	defer p.Close()
+	n := m.N()
+	xTrue := make([]float64, n)
+	for i := range xTrue {
+		xTrue[i] = math.Sin(float64(i))
+	}
+	b := make([]float64, n)
+	m.MatVec(xTrue, b)
+	x := make([]float64, n)
+	st, err := SolveBiCGSTAB(m, p, b, x, SolverOptions{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("SolveBiCGSTAB: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	for i := range x {
+		if math.Abs(x[i]-xTrue[i]) > 1e-6*(1+math.Abs(xTrue[i])) {
+			t.Fatalf("solution off at %d: %g vs %g", i, x[i], xTrue[i])
+		}
+	}
+	// The applier-preconditioned and unpreconditioned variants must
+	// converge to the same solution.
+	for _, tc := range []struct {
+		name string
+		ap   *Applier
+		tol  float64
+	}{
+		{"applier", p.NewApplier(), 1e-6},
+		{"unpreconditioned", nil, 1e-4},
+	} {
+		for i := range x {
+			x[i] = 0
+		}
+		st, err := SolveBiCGSTABWith(m, tc.ap, b, x, SolverOptions{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("SolveBiCGSTABWith(%s): %v", tc.name, err)
+		}
+		if !st.Converged {
+			t.Fatalf("SolveBiCGSTABWith(%s) not converged: %+v", tc.name, st)
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > tc.tol*(1+math.Abs(xTrue[i])) {
+				t.Fatalf("SolveBiCGSTABWith(%s) solution off at %d: %g vs %g",
+					tc.name, i, x[i], xTrue[i])
+			}
+		}
+	}
+}
+
+// sentinel errors for goroutine reporting in concurrency tests.
+var (
+	errNotConverged = errors.New("solve did not converge")
+	errDiverged     = errors.New("concurrent solution diverged from reference")
+)

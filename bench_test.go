@@ -8,6 +8,7 @@ package javelin
 
 import (
 	"io"
+	"sync"
 	"testing"
 
 	"javelin/internal/baseline"
@@ -15,6 +16,7 @@ import (
 	"javelin/internal/core"
 	"javelin/internal/gen"
 	"javelin/internal/ilu"
+	"javelin/internal/krylov"
 	"javelin/internal/levelset"
 	"javelin/internal/sparse"
 	"javelin/internal/trisolve"
@@ -360,3 +362,122 @@ func BenchmarkLevelScheduleBuild(b *testing.B) {
 		levelset.Compute(a, levelset.LowerAAT)
 	}
 }
+
+// --- Concurrent solve contexts & batched multi-RHS ----------------------
+
+// benchApplyEngine factors the acceptance matrix: a 100×100 grid
+// Laplacian (ILU(0) preconditioner application is the measured op).
+func benchApplyEngine(b *testing.B, threads int) (*core.Engine, []float64) {
+	b.Helper()
+	a := gen.GridLaplacian(100, 100, 1, gen.Star5, 0.1)
+	opt := core.DefaultOptions()
+	opt.Threads = threads
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(e.Close)
+	rhs := make([]float64, a.N)
+	rng := util.NewRNG(42)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	return e, rhs
+}
+
+// benchBatchRHS measures k=8 right-hand sides per iteration, either
+// as one ApplyBatch sweep or as 8 sequential Apply calls, and reports
+// ns/rhs so the two are directly comparable.
+func benchBatchRHS(b *testing.B, batch bool, threads int) {
+	e, rhs := benchApplyEngine(b, threads)
+	const k = 8
+	R := make([][]float64, k)
+	Z := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		R[j] = rhs
+		Z[j] = make([]float64, len(rhs))
+	}
+	ctx := e.NewContext()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch {
+			ctx.ApplyBatch(R, Z)
+		} else {
+			for j := 0; j < k; j++ {
+				ctx.Apply(R[j], Z[j])
+			}
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/rhs")
+}
+
+func BenchmarkApplySequential8RHS_1T(b *testing.B) { benchBatchRHS(b, false, 1) }
+func BenchmarkApplyBatch8RHS_1T(b *testing.B)      { benchBatchRHS(b, true, 1) }
+func BenchmarkApplySequential8RHS_4T(b *testing.B) { benchBatchRHS(b, false, 4) }
+func BenchmarkApplyBatch8RHS_4T(b *testing.B)      { benchBatchRHS(b, true, 4) }
+
+// benchConcurrentApply runs `workers` goroutines, each applying the
+// one shared engine through its own SolveContext b.N times. Each
+// apply is single-threaded (Threads: 1): the server scenario where
+// parallelism comes from concurrent callers, not from within one
+// solve. Reported ns/apply = wall time / total applies; flat ns/op
+// across worker counts means linear throughput scaling.
+func benchConcurrentApply(b *testing.B, workers int) {
+	e, rhs := benchApplyEngine(b, 1)
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := e.NewContext()
+			z := make([]float64, len(rhs))
+			for i := 0; i < b.N; i++ {
+				ctx.Apply(rhs, z)
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*workers), "ns/apply")
+}
+
+func BenchmarkConcurrentApply1G(b *testing.B) { benchConcurrentApply(b, 1) }
+func BenchmarkConcurrentApply2G(b *testing.B) { benchConcurrentApply(b, 2) }
+func BenchmarkConcurrentApply4G(b *testing.B) { benchConcurrentApply(b, 4) }
+func BenchmarkConcurrentApply8G(b *testing.B) { benchConcurrentApply(b, 8) }
+
+// Reusable krylov workspaces: repeated CG solves with and without a
+// workspace, showing the per-call allocation cost disappears.
+func benchCGWorkspace(b *testing.B, reuse bool) {
+	a := gen.GridLaplacian(100, 100, 1, gen.Star5, 0.1)
+	opt := core.DefaultOptions()
+	opt.Threads = 1
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	rhs := make([]float64, a.N)
+	rng := util.NewRNG(3)
+	for i := range rhs {
+		rhs[i] = rng.NormFloat64()
+	}
+	x := make([]float64, a.N)
+	var ws *krylov.Workspace
+	if reuse {
+		ws = krylov.NewWorkspace()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range x {
+			x[j] = 0
+		}
+		if _, err := krylov.CG(a, e, rhs, x, krylov.Options{Tol: 1e-8, Work: ws}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCGPerCallAlloc(b *testing.B)   { benchCGWorkspace(b, false) }
+func BenchmarkCGWorkspaceReuse(b *testing.B) { benchCGWorkspace(b, true) }

@@ -26,6 +26,47 @@
 //	x := make([]float64, m.N())
 //	stats, err := javelin.SolveCG(m, p, b, x, javelin.SolverOptions{Tol: 1e-6})
 //
+// # Concurrency model
+//
+// A factorized Preconditioner is immutable while it is being applied:
+// the factor values, permutation, level schedules, and tile plans are
+// only read by the solves. All mutable solve state lives in Applier
+// objects, so one shared factorization can serve any number of
+// goroutines — each creates its own Applier (cheap: two length-N
+// scratch vectors plus schedule progress counters) and applies or
+// solves through it:
+//
+//	p, _ := javelin.Factorize(m, javelin.DefaultOptions())
+//	defer p.Close()
+//	for w := 0; w < workers; w++ {
+//		go func() {
+//			ap := p.NewApplier()          // per-goroutine context
+//			ws := javelin.NewSolverWorkspace() // allocation-free solves
+//			for job := range jobs {
+//				javelin.SolveCGWith(m, ap, job.b, job.x,
+//					javelin.SolverOptions{Tol: 1e-8, Work: ws})
+//			}
+//		}()
+//	}
+//
+// The Preconditioner's own Apply/ApplyBatch and the Solve* functions
+// without the With suffix route through one built-in applier and are
+// therefore single-caller convenience paths. Refactorize mutates the
+// factor values and must not overlap any in-flight solve.
+//
+// # Batched right-hand sides
+//
+// When several right-hand sides are available at once, ApplyBatch
+// applies the preconditioner to all of them in one sweep: each factor
+// row is traversed once and its update applied to every vector in the
+// batch, so the level-schedule synchronization cost is amortized k
+// ways (the spmv-like blocking the co-design enables):
+//
+//	ap := p.NewApplier()
+//	R := [][]float64{r0, r1, r2, r3}  // k right-hand sides
+//	Z := [][]float64{z0, z1, z2, z3}
+//	ap.ApplyBatch(R, Z)               // ≈ k× cheaper than k Apply calls
+//
 // The internal packages hold the substrates (sparse structures, level
 // scheduling, p2p synchronization, task pool, orderings, Krylov
 // solvers, baselines); this package is the supported surface.

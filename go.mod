@@ -1,0 +1,3 @@
+module javelin
+
+go 1.22

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"javelin/internal/p2p"
+)
+
+// SolveContext holds the per-caller mutable state of the triangular
+// solves: permutation scratch, batch blocks, and the per-run progress
+// counters of the p2p schedules. The Engine itself is immutable during
+// solves, so any number of goroutines may apply one shared Engine
+// concurrently as long as each uses its own SolveContext (create one
+// per goroutine with NewContext). A single SolveContext must not be
+// used from two goroutines at once.
+//
+// Refactorize mutates the factor values and therefore must not run
+// concurrently with any context's solves.
+type SolveContext struct {
+	e          *Engine
+	runL, runU *p2p.Run
+
+	tmp1, tmp2 []float64 // Apply permutation scratch
+	blk        []float64 // packed n×k batch scratch (lazily grown)
+}
+
+// NewContext creates an independent solve context over the engine.
+// Contexts are cheap (two length-N vectors plus per-run counters) and
+// reusable across any number of solves.
+func (e *Engine) NewContext() *SolveContext {
+	return &SolveContext{
+		e:    e,
+		runL: e.schedL.NewRun(),
+		runU: e.schedU.NewRun(),
+		tmp1: make([]float64, e.n),
+		tmp2: make([]float64, e.n),
+	}
+}
+
+// Engine returns the engine this context applies.
+func (c *SolveContext) Engine() *Engine { return c.e }
+
+// Apply applies the preconditioner in USER ordering: z ≈ A⁻¹ r via
+// z = P⁻¹ U⁻¹ L⁻¹ P r. r and z must have length N and may alias.
+func (c *SolveContext) Apply(r, z []float64) {
+	perm := c.e.split.Perm
+	perm.ApplyVec(r, c.tmp1)
+	c.SolveLower(c.tmp1, c.tmp1)
+	c.SolveUpper(c.tmp1, c.tmp2)
+	perm.ApplyVecInverse(c.tmp2, z)
+}
+
+// ensureBlk grows the packed batch scratch to at least size entries.
+func (c *SolveContext) ensureBlk(size int) []float64 {
+	if cap(c.blk) < size {
+		c.blk = make([]float64, size)
+	}
+	return c.blk[:size]
+}
+
+// ApplyBatch applies the preconditioner to k right-hand sides at
+// once: Z[j] ≈ A⁻¹·R[j] for each j, in USER ordering. All vectors
+// must have length N; R[j] and Z[j] may alias.
+//
+// The batch is packed into an n×k row-major block so each level-set
+// sweep traverses RowPtr/ColIdx once per row and applies the update
+// to all k right-hand sides from one cache-resident factor row — one
+// p2p sweep amortized over the whole batch, which is what makes the
+// solve scale like an spmv (paper Section VI's co-design point).
+func (c *SolveContext) ApplyBatch(R, Z [][]float64) {
+	k := len(R)
+	if k != len(Z) {
+		panic("core: ApplyBatch len(R) != len(Z)")
+	}
+	if k == 0 {
+		return
+	}
+	if k == 1 {
+		c.Apply(R[0], Z[0])
+		return
+	}
+	n := c.e.n
+	xb := c.ensureBlk(n * k)
+	perm := c.e.split.Perm
+	for i := 0; i < n; i++ {
+		oi := perm[i]
+		dst := xb[i*k : i*k+k]
+		for j := range dst {
+			dst[j] = R[j][oi]
+		}
+	}
+	c.solveLowerBlock(xb, k)
+	c.solveUpperBlock(xb, k)
+	for i := 0; i < n; i++ {
+		oi := perm[i]
+		src := xb[i*k : i*k+k]
+		for j := range src {
+			Z[j][oi] = src[j]
+		}
+	}
+}
+
+// SolveLowerBatch solves L·X[j] = B[j] for all j on the engine's
+// permuted indexing (the multi-RHS analogue of SolveLower). All
+// vectors have length N; B[j] and X[j] may alias.
+func (c *SolveContext) SolveLowerBatch(B, X [][]float64) {
+	c.batchSolve(B, X, (*SolveContext).solveLowerBlock)
+}
+
+// SolveUpperBatch solves U·X[j] = B[j] for all j on the permuted
+// indexing (the multi-RHS analogue of SolveUpper).
+func (c *SolveContext) SolveUpperBatch(B, X [][]float64) {
+	c.batchSolve(B, X, (*SolveContext).solveUpperBlock)
+}
+
+func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []float64, int)) {
+	k := len(B)
+	if k != len(X) {
+		panic("core: batch solve len(B) != len(X)")
+	}
+	if k == 0 {
+		return
+	}
+	n := c.e.n
+	xb := c.ensureBlk(n * k)
+	for i := 0; i < n; i++ {
+		dst := xb[i*k : i*k+k]
+		for j := range dst {
+			dst[j] = B[j][i]
+		}
+	}
+	block(c, xb, k)
+	for i := 0; i < n; i++ {
+		src := xb[i*k : i*k+k]
+		for j := range src {
+			X[j][i] = src[j]
+		}
+	}
+}
+
+// solveLowerBlock is the batched forward substitution on the packed
+// n×k block xb (xb[i*k+j] is entry i of right-hand side j). The
+// traversal mirrors SolveLower exactly — p2p upper stage, tiled
+// spmv-like lower sweep, group-parallel corner — with each row's
+// factor entries applied to all k columns.
+func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
+	e := c.e
+	lu := e.factor.LU
+	if e.opt.Threads == 1 {
+		for r := 0; r < e.n; r++ {
+			xr := xb[r*k : r*k+k]
+			for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
+				cc := lu.ColIdx[p]
+				if cc >= r {
+					break
+				}
+				v := lu.Val[p]
+				xc := xb[cc*k : cc*k+k]
+				for j := range xr {
+					xr[j] -= v * xc[j]
+				}
+			}
+		}
+		return
+	}
+	// Upper stage under the forward p2p schedule.
+	c.runL.Execute(func(r int) {
+		xr := xb[r*k : r*k+k]
+		for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
+			cc := lu.ColIdx[p]
+			if cc >= r {
+				break
+			}
+			v := lu.Val[p]
+			xc := xb[cc*k : cc*k+k]
+			for j := range xr {
+				xr[j] -= v * xc[j]
+			}
+		}
+	})
+	nUp, n := e.split.NUpper, e.n
+	if nUp == n {
+		return
+	}
+	// Lower stage, part 1: L(lower, upper)·x contribution, tiled
+	// (spans are row-disjoint → race-free).
+	lp := e.lower
+	e.runTiles(lp.solveTiles, func(t tileRange) {
+		for si := t.lo; si < t.hi; si++ {
+			sp := lp.solveSpans[si]
+			xr := xb[sp.row*k : sp.row*k+k]
+			for p := sp.kLo; p < sp.kHi; p++ {
+				v := lu.Val[p]
+				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
+				for j := range xr {
+					xr[j] -= v * xc[j]
+				}
+			}
+		}
+	})
+	// Lower stage, part 2: corner, group-parallel.
+	for g := 0; g < e.split.NumLowerLevels(); g++ {
+		lo := nUp + e.split.LowerLvlPtr[g]
+		hi := nUp + e.split.LowerLvlPtr[g+1]
+		e.parallelRows(lo, hi, func(r int) {
+			xr := xb[r*k : r*k+k]
+			for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
+				cc := lu.ColIdx[p]
+				if cc >= r {
+					break
+				}
+				if cc >= nUp {
+					v := lu.Val[p]
+					xc := xb[cc*k : cc*k+k]
+					for j := range xr {
+						xr[j] -= v * xc[j]
+					}
+				}
+			}
+		})
+	}
+}
+
+// solveUpperBlock is the batched backward substitution on the packed
+// n×k block, mirroring SolveUpper (corner groups descending, then the
+// backward p2p schedule over upper rows).
+func (c *SolveContext) solveUpperBlock(xb []float64, k int) {
+	e := c.e
+	lu := e.factor.LU
+	if e.opt.Threads == 1 {
+		for r := e.n - 1; r >= 0; r-- {
+			dp := e.factor.DiagPos[r]
+			xr := xb[r*k : r*k+k]
+			for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
+				v := lu.Val[p]
+				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
+				for j := range xr {
+					xr[j] -= v * xc[j]
+				}
+			}
+			inv := 1 / lu.Val[dp]
+			for j := range xr {
+				xr[j] *= inv
+			}
+		}
+		return
+	}
+	nUp, n := e.split.NUpper, e.n
+	rowBody := func(r int) {
+		dp := e.factor.DiagPos[r]
+		xr := xb[r*k : r*k+k]
+		for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
+			v := lu.Val[p]
+			xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
+			for j := range xr {
+				xr[j] -= v * xc[j]
+			}
+		}
+		inv := 1 / lu.Val[dp]
+		for j := range xr {
+			xr[j] *= inv
+		}
+	}
+	if nUp < n {
+		for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
+			lo := nUp + e.split.LowerLvlPtr[g]
+			hi := nUp + e.split.LowerLvlPtr[g+1]
+			e.parallelRows(lo, hi, rowBody)
+		}
+	}
+	c.runU.Execute(rowBody)
+}

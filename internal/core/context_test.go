@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"javelin/internal/gen"
+	"javelin/internal/util"
+)
+
+// testEngine factors a matrix whose split exercises both stages.
+func testEngine(t *testing.T, lower LowerMethod, threads int) *Engine {
+	t.Helper()
+	a := gen.TetraMesh(6, 6, 6, 0xbeef)
+	opt := DefaultOptions()
+	opt.Threads = threads
+	opt.Lower = lower
+	opt.Split.MinRowsPerLevel = 8
+	e, err := Factorize(a, opt)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+// TestConcurrentContextsShareOneEngine hammers one shared engine from
+// many goroutines, each with its own SolveContext, and checks every
+// result against the default-context answer. Run under -race this is
+// the concurrency-contract test for the shared-engine architecture.
+func TestConcurrentContextsShareOneEngine(t *testing.T) {
+	for _, lower := range []LowerMethod{LowerSR, LowerER} {
+		e := testEngine(t, lower, 4)
+		n := e.N()
+		rng := util.NewRNG(11)
+		const goroutines = 8
+		const repeats = 20
+		// Distinct RHS per goroutine; expected answers from the
+		// default context before the concurrent phase starts.
+		rhs := make([][]float64, goroutines)
+		want := make([][]float64, goroutines)
+		for g := range rhs {
+			rhs[g] = make([]float64, n)
+			for i := range rhs[g] {
+				rhs[g][i] = rng.NormFloat64()
+			}
+			want[g] = make([]float64, n)
+			e.Apply(rhs[g], want[g])
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, goroutines)
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				ctx := e.NewContext()
+				z := make([]float64, n)
+				for rep := 0; rep < repeats; rep++ {
+					ctx.Apply(rhs[g], z)
+					for i := range z {
+						if math.Abs(z[i]-want[g][i]) > 1e-12*(1+math.Abs(want[g][i])) {
+							errs <- "concurrent Apply diverged from serial answer"
+							return
+						}
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for msg := range errs {
+			t.Fatalf("%v (lower=%v)", msg, lower)
+		}
+	}
+}
+
+// TestApplyBatchMatchesSequentialApplies asserts the batched path is
+// numerically equivalent to k independent Apply calls for both lower
+// methods at one and several threads.
+func TestApplyBatchMatchesSequentialApplies(t *testing.T) {
+	const k = 5
+	for _, lower := range []LowerMethod{LowerSR, LowerER} {
+		for _, threads := range []int{1, 4} {
+			e := testEngine(t, lower, threads)
+			n := e.N()
+			rng := util.NewRNG(uint64(17 + threads))
+			R := make([][]float64, k)
+			Zseq := make([][]float64, k)
+			Zbat := make([][]float64, k)
+			for j := 0; j < k; j++ {
+				R[j] = make([]float64, n)
+				for i := range R[j] {
+					R[j][i] = rng.NormFloat64()
+				}
+				Zseq[j] = make([]float64, n)
+				Zbat[j] = make([]float64, n)
+				e.Apply(R[j], Zseq[j])
+			}
+			ctx := e.NewContext()
+			ctx.ApplyBatch(R, Zbat)
+			for j := 0; j < k; j++ {
+				for i := 0; i < n; i++ {
+					if math.Abs(Zbat[j][i]-Zseq[j][i]) > 1e-12*(1+math.Abs(Zseq[j][i])) {
+						t.Fatalf("lower=%v threads=%d: batch RHS %d entry %d: got %g want %g",
+							lower, threads, j, i, Zbat[j][i], Zseq[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchMatchesSingleSolves checks the permuted-indexing batch
+// entry points against their single-RHS counterparts.
+func TestSolveBatchMatchesSingleSolves(t *testing.T) {
+	const k = 3
+	for _, threads := range []int{1, 3} {
+		e := testEngine(t, LowerAuto, threads)
+		n := e.N()
+		rng := util.NewRNG(23)
+		B := make([][]float64, k)
+		wantL := make([][]float64, k)
+		wantU := make([][]float64, k)
+		gotL := make([][]float64, k)
+		gotU := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			B[j] = make([]float64, n)
+			for i := range B[j] {
+				B[j][i] = rng.NormFloat64()
+			}
+			wantL[j] = make([]float64, n)
+			wantU[j] = make([]float64, n)
+			gotL[j] = make([]float64, n)
+			gotU[j] = make([]float64, n)
+			e.SolveLower(B[j], wantL[j])
+			e.SolveUpper(B[j], wantU[j])
+		}
+		ctx := e.NewContext()
+		ctx.SolveLowerBatch(B, gotL)
+		ctx.SolveUpperBatch(B, gotU)
+		for j := 0; j < k; j++ {
+			for i := 0; i < n; i++ {
+				if math.Abs(gotL[j][i]-wantL[j][i]) > 1e-12*(1+math.Abs(wantL[j][i])) {
+					t.Fatalf("threads=%d SolveLowerBatch RHS %d entry %d: got %g want %g",
+						threads, j, i, gotL[j][i], wantL[j][i])
+				}
+				if math.Abs(gotU[j][i]-wantU[j][i]) > 1e-12*(1+math.Abs(wantU[j][i])) {
+					t.Fatalf("threads=%d SolveUpperBatch RHS %d entry %d: got %g want %g",
+						threads, j, i, gotU[j][i], wantU[j][i])
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentBatchAndSingleContexts mixes batched and single
+// appliers over one engine under load (exercised by -race).
+func TestConcurrentBatchAndSingleContexts(t *testing.T) {
+	e := testEngine(t, LowerAuto, 4)
+	n := e.N()
+	rng := util.NewRNG(31)
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	e.Apply(b, want)
+
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(batch bool) {
+			defer wg.Done()
+			ctx := e.NewContext()
+			for rep := 0; rep < 10; rep++ {
+				var z []float64
+				if batch {
+					const k = 4
+					R := make([][]float64, k)
+					Z := make([][]float64, k)
+					for j := range R {
+						R[j] = b
+						Z[j] = make([]float64, n)
+					}
+					ctx.ApplyBatch(R, Z)
+					z = Z[k-1]
+				} else {
+					z = make([]float64, n)
+					ctx.Apply(b, z)
+				}
+				for i := range z {
+					if math.Abs(z[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+						fail <- "mixed concurrent apply diverged"
+						return
+					}
+				}
+			}
+		}(g%2 == 0)
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

@@ -106,9 +106,18 @@ func (o Options) withDefaults() Options {
 
 // Engine is a factorized Javelin preconditioner. It retains the
 // symbolic structures so that Refactorize and the triangular solves
-// are cheap. An Engine's solves are not safe for concurrent use from
-// multiple goroutines (they share internal scratch); clone per
-// goroutine if needed.
+// are cheap.
+//
+// Concurrency contract: after Factorize (or Refactorize) returns, the
+// engine is immutable during solves — the factor values, schedules,
+// split, and lower-stage plan are only read. All mutable solve state
+// lives in SolveContext objects, so N goroutines may share one Engine
+// by each creating a context with NewContext and calling its Apply /
+// ApplyBatch / SolveLower / SolveUpper. The Engine's own solve
+// methods are thin wrappers over one built-in default context and are
+// therefore NOT safe for concurrent calls with each other; they exist
+// for the common single-caller case. Refactorize mutates the factor
+// and must be externally serialized against all contexts' solves.
 type Engine struct {
 	opt    Options
 	n      int
@@ -124,8 +133,9 @@ type Engine struct {
 
 	rowSumU []float64 // MILU: Σ of each finished U-row (nil unless Modified)
 
-	// scratch for Apply
-	tmp1, tmp2 []float64
+	// defCtx backs the Engine's own Apply/Solve* wrappers (the
+	// single-caller convenience path).
+	defCtx *SolveContext
 }
 
 // Factorize computes a Javelin incomplete LU of a.
@@ -190,8 +200,7 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 		e.pool = taskpool.New(opt.Threads)
 	}
 
-	e.tmp1 = make([]float64, a.N)
-	e.tmp2 = make([]float64, a.N)
+	e.defCtx = e.NewContext()
 
 	if err := e.Refactorize(a); err != nil {
 		e.Close()

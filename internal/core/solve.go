@@ -6,6 +6,27 @@ import (
 	"javelin/internal/util"
 )
 
+// SolveLower solves L·x = b on the engine's permuted indexing using
+// the engine's built-in default context. Prefer a per-goroutine
+// SolveContext for concurrent use.
+func (e *Engine) SolveLower(b, x []float64) { e.defCtx.SolveLower(b, x) }
+
+// SolveUpper solves U·x = b on the permuted indexing using the
+// engine's built-in default context. Prefer a per-goroutine
+// SolveContext for concurrent use.
+func (e *Engine) SolveUpper(b, x []float64) { e.defCtx.SolveUpper(b, x) }
+
+// Apply applies the preconditioner in USER ordering via the engine's
+// built-in default context: z ≈ A⁻¹ r. r and z must have length N and
+// may alias. Like all default-context methods it must not be called
+// concurrently with itself or other default-context solves; use
+// NewContext for that.
+func (e *Engine) Apply(r, z []float64) { e.defCtx.Apply(r, z) }
+
+// ApplyBatch applies the preconditioner to k right-hand sides through
+// the engine's built-in default context (see SolveContext.ApplyBatch).
+func (e *Engine) ApplyBatch(R, Z [][]float64) { e.defCtx.ApplyBatch(R, Z) }
+
 // SolveLower solves L·x = b on the engine's permuted indexing, where
 // L is the unit-lower factor. b and x are length-N slices in the
 // PERMUTED ordering (use Apply for the user-ordering round trip);
@@ -15,7 +36,8 @@ import (
 // p2p schedule as factorization; lower-stage rows then perform an
 // spmv-like tiled sweep against the already-computed upper x, and the
 // corner is solved group-parallel.
-func (e *Engine) SolveLower(b, x []float64) {
+func (c *SolveContext) SolveLower(b, x []float64) {
+	e := c.e
 	lu := e.factor.LU
 	if &b[0] != &x[0] {
 		copy(x, b)
@@ -37,7 +59,7 @@ func (e *Engine) SolveLower(b, x []float64) {
 		return
 	}
 	// Upper stage.
-	e.schedL.Run(func(r int) {
+	c.runL.Execute(func(r int) {
 		s := x[r]
 		lo := lu.RowPtr[r]
 		for k := lo; k < lu.RowPtr[r+1]; k++ {
@@ -91,7 +113,8 @@ func (e *Engine) SolveLower(b, x []float64) {
 // may alias). The traversal order mirrors SolveLower reversed: the
 // corner is solved first (groups descending), then the upper-stage
 // rows under the backward p2p schedule.
-func (e *Engine) SolveUpper(b, x []float64) {
+func (c *SolveContext) SolveUpper(b, x []float64) {
+	e := c.e
 	lu := e.factor.LU
 	if &b[0] != &x[0] {
 		copy(x, b)
@@ -122,7 +145,7 @@ func (e *Engine) SolveUpper(b, x []float64) {
 			})
 		}
 	}
-	e.schedU.Run(func(r int) {
+	c.runU.Execute(func(r int) {
 		dp := e.factor.DiagPos[r]
 		s := x[r]
 		for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
@@ -130,17 +153,6 @@ func (e *Engine) SolveUpper(b, x []float64) {
 		}
 		x[r] = s / lu.Val[dp]
 	})
-}
-
-// Apply applies the preconditioner in USER ordering: z ≈ A⁻¹ r via
-// z = P⁻¹ U⁻¹ L⁻¹ P r. r and z must have length N and may alias.
-// Not safe for concurrent calls (shared scratch).
-func (e *Engine) Apply(r, z []float64) {
-	perm := e.split.Perm
-	perm.ApplyVec(r, e.tmp1)
-	e.SolveLower(e.tmp1, e.tmp1)
-	e.SolveUpper(e.tmp1, e.tmp2)
-	perm.ApplyVecInverse(e.tmp2, z)
 }
 
 // parallelRows runs body(r) for r in [lo, hi) using the task pool when

@@ -1,0 +1,98 @@
+package krylov
+
+import (
+	"errors"
+	"math"
+
+	"javelin/internal/sparse"
+	"javelin/internal/util"
+)
+
+// BiCGSTAB solves A·x = b with the preconditioned stabilized
+// bi-conjugate gradient method (van der Vorst). It handles the
+// unsymmetric systems GMRES targets but with constant memory — seven
+// work vectors instead of a restart-length Krylov basis — which makes
+// it the method of choice when many solver instances run concurrently
+// against one shared preconditioner. x holds the initial guess on
+// entry and the solution on exit. Each iteration costs two matvecs
+// and two preconditioner applications.
+func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
+	n := a.N
+	if len(b) != n || len(x) != n {
+		return Stats{}, errors.New("krylov: dimension mismatch")
+	}
+	opt = opt.withDefaults(n)
+	vs := opt.workspace().vectors(n, 8)
+	r, rhat, p, v, s, t, phat, shat := vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7]
+
+	a.MatVec(x, v)
+	for i := range r {
+		r[i] = b[i] - v[i]
+	}
+	copy(rhat, r)
+	for i := range p {
+		p[i] = 0
+		v[i] = 0
+	}
+	bnorm := util.Norm2(b)
+	if bnorm == 0 {
+		bnorm = 1
+	}
+	rho, alpha, omega := 1.0, 1.0, 1.0
+
+	st := Stats{}
+	for st.Iterations = 0; st.Iterations < opt.MaxIter; st.Iterations++ {
+		res := util.Norm2(r)
+		st.RelResidual = res / bnorm
+		if st.RelResidual <= opt.Tol {
+			st.Converged = true
+			return st, nil
+		}
+		rhoNew := util.Dot(rhat, r)
+		if rhoNew == 0 || math.IsNaN(rhoNew) {
+			return st, errors.New("krylov: BiCGSTAB breakdown (ρ = 0)")
+		}
+		beta := (rhoNew / rho) * (alpha / omega)
+		rho = rhoNew
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		m.Apply(p, phat)
+		a.MatVec(phat, v)
+		rv := util.Dot(rhat, v)
+		if rv == 0 || math.IsNaN(rv) {
+			return st, errors.New("krylov: BiCGSTAB breakdown (r̂ᵀv = 0)")
+		}
+		alpha = rho / rv
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if sn := util.Norm2(s); sn/bnorm <= opt.Tol {
+			// First half-step already converged.
+			util.Axpy(alpha, phat, x)
+			copy(r, s)
+			st.Iterations++
+			st.Converged = true
+			st.RelResidual = sn / bnorm
+			return st, nil
+		}
+		m.Apply(s, shat)
+		a.MatVec(shat, t)
+		tt := util.Dot(t, t)
+		if tt == 0 || math.IsNaN(tt) {
+			return st, errors.New("krylov: BiCGSTAB breakdown (tᵀt = 0)")
+		}
+		omega = util.Dot(t, s) / tt
+		if omega == 0 {
+			return st, errors.New("krylov: BiCGSTAB stagnation (ω = 0)")
+		}
+		for i := range x {
+			x[i] += alpha*phat[i] + omega*shat[i]
+		}
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+	}
+	st.RelResidual = util.Norm2(r) / bnorm
+	return st, nil
+}

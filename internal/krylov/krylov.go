@@ -34,10 +34,21 @@ type Stats struct {
 
 // Options bounds a solve. Tol is relative to ‖b‖₂ (Table II uses
 // 1e-6). MaxIter 0 means 10·N. Restart (GMRES only) 0 means 50.
+// Work, when non-nil, supplies reusable storage so the solve performs
+// no per-call allocation (after the workspace has grown to size).
 type Options struct {
 	Tol     float64
 	MaxIter int
 	Restart int
+	Work    *Workspace
+}
+
+// workspace returns the caller's workspace or a private throwaway.
+func (o Options) workspace() *Workspace {
+	if o.Work != nil {
+		return o.Work
+	}
+	return NewWorkspace()
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -65,10 +76,8 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 		return Stats{}, errors.New("krylov: dimension mismatch")
 	}
 	opt = opt.withDefaults(n)
-	r := make([]float64, n)
-	z := make([]float64, n)
-	p := make([]float64, n)
-	ap := make([]float64, n)
+	vs := opt.workspace().vectors(n, 4)
+	r, z, p, ap := vs[0], vs[1], vs[2], vs[3]
 
 	a.MatVec(x, ap)
 	for i := range r {
@@ -119,20 +128,12 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 	opt = opt.withDefaults(n)
 	restart := opt.Restart
 
-	// Krylov basis and Hessenberg (restart+1 columns).
-	v := make([][]float64, restart+1)
-	for i := range v {
-		v[i] = make([]float64, n)
-	}
-	h := make([][]float64, restart+1)
-	for i := range h {
-		h[i] = make([]float64, restart)
-	}
-	cs := make([]float64, restart)
-	sn := make([]float64, restart)
-	g := make([]float64, restart+1)
-	w := make([]float64, n)
-	t := make([]float64, n)
+	// Krylov basis and Hessenberg (restart+1 columns), plus the
+	// small-system solution y, all from the workspace.
+	ws := opt.workspace()
+	v, h, cs, sn, g, y := ws.gmres(n, restart)
+	vs := ws.vectors(n, 2)
+	w, t := vs[0], vs[1]
 
 	bnorm := util.Norm2(b)
 	if bnorm == 0 {
@@ -213,7 +214,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 			}
 		}
 		// Solve the small triangular system and update x.
-		y := make([]float64, j)
+		y := y[:j]
 		for i := j - 1; i >= 0; i-- {
 			s := g[i]
 			for k := i + 1; k < j; k++ {

@@ -192,3 +192,130 @@ func TestDimensionMismatchRejected(t *testing.T) {
 		t.Error("GMRES accepted short x")
 	}
 }
+
+func TestBiCGSTABOnUnsymmetricSystem(t *testing.T) {
+	a := gen.TetraMesh(6, 6, 6, 0x77)
+	b, xTrue := problem(t, a, 3)
+	f, err := ilu.Factorize(a, ilu.Options{})
+	if err != nil {
+		t.Fatalf("ilu: %v", err)
+	}
+	x := make([]float64, a.N)
+	st, err := BiCGSTAB(a, &serialILU{f: f}, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("BiCGSTAB: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("BiCGSTAB did not converge: %+v", st)
+	}
+	checkSolution(t, a, x, xTrue, 1e-6)
+}
+
+func TestBiCGSTABMatchesGMRESIterationsBallpark(t *testing.T) {
+	// BiCGSTAB should converge on the same preconditioned circuit
+	// system GMRES handles, in a comparable (small) iteration count.
+	a := gen.Circuit(gen.CircuitOptions{N: 400, Seed: 9})
+	b, xTrue := problem(t, a, 5)
+	f, err := ilu.Factorize(a, ilu.Options{})
+	if err != nil {
+		t.Fatalf("ilu: %v", err)
+	}
+	x := make([]float64, a.N)
+	st, err := BiCGSTAB(a, &serialILU{f: f}, b, x, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatalf("BiCGSTAB: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	checkSolution(t, a, x, xTrue, 1e-5)
+}
+
+func TestBiCGSTABWithJavelinEngine(t *testing.T) {
+	a := gen.TetraMesh(5, 5, 5, 0xabc)
+	b, xTrue := problem(t, a, 11)
+	opt := core.DefaultOptions()
+	opt.Threads = 2
+	e, err := core.Factorize(a, opt)
+	if err != nil {
+		t.Fatalf("Factorize: %v", err)
+	}
+	defer e.Close()
+	x := make([]float64, a.N)
+	st, err := BiCGSTAB(a, e, b, x, Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatalf("BiCGSTAB: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %+v", st)
+	}
+	checkSolution(t, a, x, xTrue, 1e-6)
+}
+
+func TestBiCGSTABDimensionMismatch(t *testing.T) {
+	a := gen.GridLaplacian(4, 4, 1, gen.Star5, 1)
+	if _, err := BiCGSTAB(a, Identity{}, make([]float64, 3), make([]float64, a.N), Options{}); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+// TestWorkspaceReuseEliminatesAllocations asserts the Options.Work
+// path performs no per-call allocation once warm, for all three
+// methods.
+func TestWorkspaceReuseEliminatesAllocations(t *testing.T) {
+	a := gen.GridLaplacian(24, 24, 1, gen.Star5, 0.4)
+	b, _ := problem(t, a, 7)
+	x := make([]float64, a.N)
+	ws := NewWorkspace()
+
+	run := map[string]func() error{
+		"CG": func() error {
+			for i := range x {
+				x[i] = 0
+			}
+			_, err := CG(a, Identity{}, b, x, Options{Tol: 1e-8, Work: ws})
+			return err
+		},
+		"GMRES": func() error {
+			for i := range x {
+				x[i] = 0
+			}
+			_, err := GMRES(a, Identity{}, b, x, Options{Tol: 1e-8, Restart: 30, Work: ws})
+			return err
+		},
+		"BiCGSTAB": func() error {
+			for i := range x {
+				x[i] = 0
+			}
+			_, err := BiCGSTAB(a, Identity{}, b, x, Options{Tol: 1e-8, Work: ws})
+			return err
+		},
+	}
+	for name, f := range run {
+		if err := f(); err != nil { // warm the workspace
+			t.Fatalf("%s warmup: %v", name, err)
+		}
+		allocs := testing.AllocsPerRun(3, func() {
+			if err := f(); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+		if allocs > 0 {
+			t.Errorf("%s allocated %.0f objects per warm solve, want 0", name, allocs)
+		}
+	}
+}
+
+func TestWorkspaceGrowsAcrossSizes(t *testing.T) {
+	ws := NewWorkspace()
+	for _, nx := range []int{10, 30, 20} {
+		a := gen.GridLaplacian(nx, nx, 1, gen.Star5, 0.5)
+		b, xTrue := problem(t, a, uint64(nx))
+		x := make([]float64, a.N)
+		st, err := CG(a, Identity{}, b, x, Options{Tol: 1e-10, Work: ws})
+		if err != nil || !st.Converged {
+			t.Fatalf("nx=%d: %v %+v", nx, err, st)
+		}
+		checkSolution(t, a, x, xTrue, 1e-6)
+	}
+}

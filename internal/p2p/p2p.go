@@ -33,8 +33,12 @@ type paddedCounter struct {
 type DepFunc func(row int, emit func(dep int))
 
 // Schedule is a p2p execution plan: an assignment of rows to workers
-// and pruned dependency lists. Build once per (pattern, workers) and
-// execute many times (Reset between runs is handled by Run).
+// and pruned dependency lists. The plan itself is immutable after
+// NewSchedule; all per-execution state (the per-worker progress
+// counters) lives in Run objects, so any number of concurrent
+// executions can share one plan — build once per (pattern, workers),
+// then either call Schedule.Run (convenience, one execution at a
+// time) or give each goroutine its own NewRun.
 type Schedule struct {
 	Workers int
 	// RowOf[w] lists the rows of worker w in execution order
@@ -51,7 +55,23 @@ type Schedule struct {
 	depW   [][]int32
 	depS   [][]int32
 
+	// defaultRun backs the Schedule.Run convenience method; concurrent
+	// executions must use separate NewRun objects instead.
+	defaultRun *Run
+}
+
+// Run holds the mutable state of one Schedule execution: the
+// per-worker published progress counters. A Run may be reused for any
+// number of sequential executions; distinct Runs over the same
+// Schedule may execute concurrently (each goroutine needs its own).
+type Run struct {
+	s        *Schedule
 	progress []paddedCounter
+}
+
+// NewRun creates an independent execution state for the schedule.
+func (s *Schedule) NewRun() *Run {
+	return &Run{s: s, progress: make([]paddedCounter, s.Workers)}
 }
 
 // NewSchedule builds a plan for rows grouped into levels (levels[l] is
@@ -127,7 +147,7 @@ func NewSchedule(levels [][]int, n, workers int, deps DepFunc) *Schedule {
 			s.depPtr[w][k+1] = int32(len(s.depW[w]))
 		}
 	}
-	s.progress = make([]paddedCounter, workers)
+	s.defaultRun = s.NewRun()
 	return s
 }
 
@@ -149,15 +169,25 @@ func (s *Schedule) NumRows() int {
 	return n
 }
 
-// Run executes body(row) for every scheduled row, spawning one
-// goroutine per worker, honoring all dependencies via p2p spin waits.
-// body must complete the row before returning.
+// Run executes body(row) for every scheduled row on the schedule's
+// built-in default Run. It is the convenience path for single-caller
+// use; for concurrent executions over one schedule, give each caller
+// its own NewRun and call Execute on it.
 func (s *Schedule) Run(body func(row int)) {
-	for i := range s.progress {
-		s.progress[i].v.Store(0)
+	s.defaultRun.Execute(body)
+}
+
+// Execute runs body(row) for every scheduled row, spawning one
+// goroutine per worker, honoring all dependencies via p2p spin waits.
+// body must complete the row before returning. A Run must not be
+// executed concurrently with itself.
+func (r *Run) Execute(body func(row int)) {
+	for i := range r.progress {
+		r.progress[i].v.Store(0)
 	}
+	s := r.s
 	if s.Workers == 1 {
-		s.runWorker(0, body)
+		r.runWorker(0, body)
 		return
 	}
 	var wg sync.WaitGroup
@@ -165,16 +195,17 @@ func (s *Schedule) Run(body func(row int)) {
 	for w := 0; w < s.Workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			s.runWorker(w, body)
+			r.runWorker(w, body)
 		}(w)
 	}
 	wg.Wait()
 }
 
-func (s *Schedule) runWorker(w int, body func(row int)) {
+func (r *Run) runWorker(w int, body func(row int)) {
+	s := r.s
 	rows := s.RowOf[w]
 	depPtr, depW, depS := s.depPtr[w], s.depW[w], s.depS[w]
-	for k, r := range rows {
+	for k, row := range rows {
 		for d := depPtr[k]; d < depPtr[k+1]; d++ {
 			ow, need := depW[d], int64(depS[d])+1
 			// Two-phase wait: a short tight spin catches the common
@@ -183,14 +214,14 @@ func (s *Schedule) runWorker(w int, body func(row int)) {
 			// the producer's cache line and from starving runnable
 			// goroutines when workers exceed cores.
 			spins := 0
-			for s.progress[ow].v.Load() < need {
+			for r.progress[ow].v.Load() < need {
 				spins++
 				if spins > 512 && spins&63 == 0 {
 					runtime.Gosched()
 				}
 			}
 		}
-		body(r)
-		s.progress[w].v.Store(int64(k + 1))
+		body(row)
+		r.progress[w].v.Store(int64(k + 1))
 	}
 }

@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -181,5 +182,56 @@ func TestDepsOutsideScheduleIgnored(t *testing.T) {
 	s.Run(func(r int) { ran[r].Store(true) })
 	if !ran[2].Load() || !ran[3].Load() {
 		t.Fatal("scheduled rows did not run")
+	}
+}
+
+func TestConcurrentRunsShareOneSchedule(t *testing.T) {
+	// Many goroutines execute the same immutable plan at once, each
+	// with its own Run; every execution must honor dependencies and
+	// cover every row exactly once.
+	rng := util.NewRNG(7)
+	n := 400
+	deps := make([][]int, n)
+	for i := 1; i < n; i++ {
+		for e := 0; e < rng.Intn(4); e++ {
+			deps[i] = append(deps[i], rng.Intn(i))
+		}
+	}
+	s := buildFromMatrixLevels(n, deps, 4)
+	const goroutines = 6
+	errs := make(chan string, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run := s.NewRun()
+			for round := 0; round < 3; round++ {
+				done := make([]atomic.Bool, n)
+				var violations, count atomic.Int64
+				run.Execute(func(r int) {
+					for _, d := range deps[r] {
+						if !done[d].Load() {
+							violations.Add(1)
+						}
+					}
+					done[r].Store(true)
+					count.Add(1)
+				})
+				if v := violations.Load(); v != 0 {
+					errs <- "dependency violations"
+					return
+				}
+				if count.Load() != int64(n) {
+					errs <- "row count mismatch"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
 	}
 }
