@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"javelin/internal/core"
+	"javelin/internal/exec"
 	"javelin/internal/gen"
 	"javelin/internal/krylov"
 	"javelin/internal/levelset"
@@ -12,6 +13,26 @@ import (
 	"javelin/internal/order"
 	"javelin/internal/sparse"
 )
+
+// Runtime is Javelin's persistent execution runtime: a fixed pool of
+// spin-then-park worker goroutines that every parallel region —
+// factorization stages, triangular-solve sweeps, SpMV, SR tile
+// batches — schedules onto, so hot paths never spawn goroutines per
+// call. One Runtime can back any number of Preconditioners and
+// concurrent Appliers (set Options.Runtime); see doc.go's "Execution
+// runtime & threading contract" section for the sharing rules.
+type Runtime = exec.Runtime
+
+// NewRuntime creates a runtime with the given total parallelism
+// (worker goroutines plus the calling goroutine of each region).
+// threads <= 0 means GOMAXPROCS. The caller owns it: Close it after
+// every engine using it is done.
+func NewRuntime(threads int) *Runtime { return exec.New(threads) }
+
+// DefaultRuntime returns the lazily created process-wide runtime
+// (GOMAXPROCS lanes, never closed) that components without an
+// explicit Runtime run on.
+func DefaultRuntime() *Runtime { return exec.Default() }
 
 // Matrix is an immutable sparse matrix in CSR form.
 type Matrix struct {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math"
+	"runtime"
 	"testing"
 )
 
@@ -364,3 +365,87 @@ var (
 	errNotConverged = errors.New("solve did not converge")
 	errDiverged     = errors.New("concurrent solution diverged from reference")
 )
+
+// TestSharedRuntimeAPI drives the tentpole surface: one NewRuntime
+// backs two Preconditioners and their concurrent Appliers, and no hot
+// path spawns goroutines per call once the runtime is warm.
+func TestSharedRuntimeAPI(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+
+	opt := DefaultOptions()
+	opt.Runtime = rt
+	m1 := GridLaplacian(40, 40, 1, Star5, 0.1)
+	p1, err := Factorize(m1, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p1.Close()
+	m2 := GridLaplacian(30, 30, 1, Star5, 0.1)
+	p2, err := Factorize(m2, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+
+	solve := func(m *Matrix, p *Preconditioner) {
+		ap := p.NewApplier()
+		b := make([]float64, m.N())
+		x := make([]float64, m.N())
+		for i := range b {
+			b[i] = 1
+		}
+		st, err := SolveCGWith(m, ap, b, x, SolverOptions{Tol: 1e-8, Threads: 4, Runtime: rt})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !st.Converged {
+			t.Errorf("CG did not converge: relres=%g", st.RelResidual)
+		}
+	}
+	done := make(chan struct{}, 4)
+	for g := 0; g < 2; g++ {
+		go func() { solve(m1, p1); done <- struct{}{} }()
+		go func() { solve(m2, p2); done <- struct{}{} }()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}
+
+// TestWarmApplySpawnsNoGoroutines is the public-API half of the
+// acceptance criterion: repeated Apply and MatVec on a warm shared
+// runtime must not grow the goroutine count.
+func TestWarmApplySpawnsNoGoroutines(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+	opt := DefaultOptions()
+	opt.Runtime = rt
+	m := GridLaplacian(50, 50, 1, Star5, 0.1)
+	p, err := Factorize(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	ap := p.NewApplier()
+	b := make([]float64, m.N())
+	z := make([]float64, m.N())
+	y := make([]float64, m.N())
+	for i := range b {
+		b[i] = 1
+	}
+	work := func() {
+		ap.Apply(b, z)
+		m.MatVec(z, y)
+	}
+	work()
+	work()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 100; i++ {
+		work()
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines grew %d -> %d across warm applies", before, after)
+	}
+}

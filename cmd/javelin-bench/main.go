@@ -5,16 +5,24 @@
 //
 //	javelin-bench -exp all -scale 0.05
 //	javelin-bench -exp fig10 -threads 1,2,4,8 -matrices wang3,scircuit
+//	javelin-bench -json -scale 0.02 -threads 1,2 > BENCH_now.json
 //
 // Experiments: table1, table2, table3, table4, fig9, fig10, fig11,
 // fig12, fig13, all. Figures 10 and 11 are the same strong-scaling
 // experiment at different thread sweeps (the paper's Haswell and KNL
 // machines); here both sweep -threads.
+//
+// -json switches to machine-readable output: a JSON array of
+// {matrix, n, nnz, method, op, threads, ns_per_op} records covering
+// refactorization and preconditioner application across the thread
+// sweep — the format the repository's BENCH_*.json perf trajectory
+// files use.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,26 +31,35 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("javelin-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|all")
-		scale    = flag.Float64("scale", 0.05, "suite scale factor in (0,1]; 1.0 = paper-size matrices")
-		threads  = flag.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
-		repeats  = flag.Int("repeats", 3, "timing repetitions (best-of)")
-		matrices = flag.String("matrices", "", "comma-separated Table-I names to include (default all)")
+		exp      = fs.String("exp", "all", "experiment: table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|all")
+		scale    = fs.Float64("scale", 0.05, "suite scale factor in (0,1]; 1.0 = paper-size matrices")
+		threads  = fs.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
+		repeats  = fs.Int("repeats", 3, "timing repetitions (best-of)")
+		matrices = fs.String("matrices", "", "comma-separated Table-I names to include (default all)")
+		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	cfg := bench.Config{
 		Scale:   *scale,
 		Repeats: *repeats,
-		Out:     os.Stdout,
+		Out:     stdout,
 	}
 	if *threads != "" {
 		for _, tok := range strings.Split(*threads, ",") {
 			p, err := strconv.Atoi(strings.TrimSpace(tok))
 			if err != nil || p < 1 {
-				fmt.Fprintf(os.Stderr, "javelin-bench: bad thread count %q\n", tok)
-				os.Exit(2)
+				fmt.Fprintf(stderr, "javelin-bench: bad thread count %q\n", tok)
+				return 2
 			}
 			cfg.Threads = append(cfg.Threads, p)
 		}
@@ -53,7 +70,15 @@ func main() {
 		}
 	}
 
-	run := func(name string) {
+	if *jsonOut {
+		if err := bench.RunJSON(cfg); err != nil {
+			fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	runExp := func(name string) int {
 		switch name {
 		case "table1":
 			bench.RunTable1(cfg)
@@ -74,17 +99,20 @@ func main() {
 		case "fig13":
 			bench.RunFig13(cfg)
 		default:
-			fmt.Fprintf(os.Stderr, "javelin-bench: unknown experiment %q\n", name)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "javelin-bench: unknown experiment %q\n", name)
+			return 2
 		}
+		return 0
 	}
 
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table3", "table4", "fig9",
 			"fig10", "fig12", "table2", "fig13"} {
-			run(name)
+			if rc := runExp(name); rc != 0 {
+				return rc
+			}
 		}
-		return
+		return 0
 	}
-	run(*exp)
+	return runExp(*exp)
 }

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunTableSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-exp", "table1", "-scale", "0.02", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "wang3") {
+		t.Fatalf("table output missing matrix name:\n%s", out.String())
+	}
+}
+
+func TestRunJSONSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-json", "-scale", "0.02", "-threads", "1,2",
+		"-repeats", "1", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	// 1 matrix × 2 thread counts × 2 ops.
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		for _, key := range []string{"matrix", "n", "nnz", "method", "op", "threads", "ns_per_op"} {
+			if _, ok := r[key]; !ok {
+				t.Fatalf("record missing %q: %v", key, r)
+			}
+		}
+		if r["ns_per_op"].(float64) <= 0 {
+			t.Fatalf("non-positive ns_per_op: %v", r)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-exp", "nope"}, &out, &errb); rc != 2 {
+		t.Fatalf("unknown experiment: rc=%d", rc)
+	}
+	if rc := run([]string{"-threads", "0"}, &out, &errb); rc != 2 {
+		t.Fatalf("bad threads: rc=%d", rc)
+	}
+	if rc := run([]string{"-bogus"}, &out, &errb); rc != 2 {
+		t.Fatalf("bogus flag: rc=%d", rc)
+	}
+}

@@ -12,6 +12,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -19,14 +20,22 @@ import (
 )
 
 func main() {
-	var (
-		table    = flag.Int("table", 1, "paper table to print: 1, 3, or 4")
-		scale    = flag.Float64("scale", 0.1, "suite scale factor in (0,1]")
-		matrices = flag.String("matrices", "", "comma-separated Table-I names (default all)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	cfg := bench.Config{Scale: *scale, Out: os.Stdout}
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("javelin-info", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		table    = fs.Int("table", 1, "paper table to print: 1, 3, or 4")
+		scale    = fs.Float64("scale", 0.1, "suite scale factor in (0,1]")
+		matrices = fs.String("matrices", "", "comma-separated Table-I names (default all)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	cfg := bench.Config{Scale: *scale, Out: stdout}
 	if *matrices != "" {
 		for _, tok := range strings.Split(*matrices, ",") {
 			cfg.Matrices = append(cfg.Matrices, strings.TrimSpace(tok))
@@ -40,7 +49,8 @@ func main() {
 	case 4:
 		bench.RunTable4(cfg)
 	default:
-		fmt.Fprintf(os.Stderr, "javelin-info: no such table %d (use 1, 3 or 4)\n", *table)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "javelin-info: no such table %d (use 1, 3 or 4)\n", *table)
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,32 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunTablesSmoke(t *testing.T) {
+	// Table IV covers only the lower(A)-pattern subset, so pick a
+	// matrix that appears in all three tables.
+	for _, table := range []string{"1", "3", "4"} {
+		var out, errb bytes.Buffer
+		rc := run([]string{"-table", table, "-scale", "0.02", "-matrices", "trans4"}, &out, &errb)
+		if rc != 0 {
+			t.Fatalf("table %s: rc=%d stderr=%s", table, rc, errb.String())
+		}
+		if !strings.Contains(out.String(), "trans4") {
+			t.Fatalf("table %s output missing matrix name:\n%s", table, out.String())
+		}
+	}
+}
+
+func TestRunRejectsUnknownTable(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-table", "2"}, &out, &errb); rc != 2 {
+		t.Fatalf("rc=%d, want 2", rc)
+	}
+	if !strings.Contains(errb.String(), "no such table") {
+		t.Fatalf("missing error message: %s", errb.String())
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -24,32 +25,45 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("javelin-solve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name    = flag.String("matrix", "apache2", "Table-I matrix name to generate")
-		file    = flag.String("file", "", "MatrixMarket file (overrides -matrix)")
-		scale   = flag.Float64("scale", 0.05, "suite scale factor")
-		solver  = flag.String("solver", "cg", "cg or gmres")
-		tol     = flag.Float64("tol", 1e-6, "relative residual tolerance")
-		threads = flag.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
-		lower   = flag.String("lower", "auto", "lower-stage method: auto|er|sr|none")
+		name    = fs.String("matrix", "apache2", "Table-I matrix name to generate")
+		file    = fs.String("file", "", "MatrixMarket file (overrides -matrix)")
+		scale   = fs.Float64("scale", 0.05, "suite scale factor")
+		solver  = fs.String("solver", "cg", "cg or gmres")
+		tol     = fs.Float64("tol", 1e-6, "relative residual tolerance")
+		threads = fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
+		lower   = fs.String("lower", "auto", "lower-stage method: auto|er|sr|none")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	fail := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "javelin-solve: "+format+"\n", a...)
+		return 1
+	}
 
 	var a *sparse.CSR
 	if *file != "" {
 		m, err := mmio.ReadFile(*file)
 		if err != nil {
-			fail("read %s: %v", *file, err)
+			return fail("read %s: %v", *file, err)
 		}
 		a = m
 	} else {
 		spec, ok := gen.ByName(*name)
 		if !ok {
-			fail("unknown matrix %q (see Table I names)", *name)
+			return fail("unknown matrix %q (see Table I names)", *name)
 		}
 		a = spec.Build(spec.ScaledN(*scale))
 	}
-	fmt.Printf("matrix: n=%d nnz=%d rd=%.2f\n", a.N, a.Nnz(), a.RowDensity())
+	fmt.Fprintf(stdout, "matrix: n=%d nnz=%d rd=%.2f\n", a.N, a.Nnz(), a.RowDensity())
 
 	a = bench.Preorder(a)
 
@@ -65,16 +79,16 @@ func main() {
 	case "none":
 		opt.Lower = core.LowerNone
 	default:
-		fail("unknown lower method %q", *lower)
+		return fail("unknown lower method %q", *lower)
 	}
 
 	t0 := time.Now()
 	e, err := core.Factorize(a, opt)
 	if err != nil {
-		fail("factorize: %v", err)
+		return fail("factorize: %v", err)
 	}
 	defer e.Close()
-	fmt.Printf("factorized in %v (levels=%d upper=%d lower=%d method=%s)\n",
+	fmt.Fprintf(stdout, "factorized in %v (levels=%d upper=%d lower=%d method=%s)\n",
 		time.Since(t0), e.Split().Lv.Count, e.Split().NUpper,
 		e.Split().NLower(), e.Method())
 
@@ -88,7 +102,9 @@ func main() {
 	a.MatVec(xTrue, b)
 	x := make([]float64, n)
 
-	kopt := krylov.Options{Tol: *tol}
+	// Solver-side matvecs ride the engine's runtime at the same
+	// thread count as the factorization.
+	kopt := krylov.Options{Tol: *tol, Threads: e.Threads(), Runtime: e.Runtime()}
 	var st krylov.Stats
 	t0 = time.Now()
 	switch *solver {
@@ -97,21 +113,17 @@ func main() {
 	case "gmres":
 		st, err = krylov.GMRES(a, e, b, x, kopt)
 	default:
-		fail("unknown solver %q", *solver)
+		return fail("unknown solver %q", *solver)
 	}
 	if err != nil {
-		fail("solve: %v", err)
+		return fail("solve: %v", err)
 	}
 	errNorm := 0.0
 	for i := range x {
 		errNorm += (x[i] - xTrue[i]) * (x[i] - xTrue[i])
 	}
-	fmt.Printf("%s: converged=%v iters=%d relres=%.3g err=%.3g time=%v\n",
+	fmt.Fprintf(stdout, "%s: converged=%v iters=%d relres=%.3g err=%.3g time=%v\n",
 		*solver, st.Converged, st.Iterations, st.RelResidual,
 		errNorm, time.Since(t0))
-}
-
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "javelin-solve: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSolveCGSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "wang3", "-scale", "0.02", "-solver", "cg",
+		"-threads", "2"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "factorized in") || !strings.Contains(s, "converged=true") {
+		t.Fatalf("unexpected output:\n%s", s)
+	}
+}
+
+func TestRunSolveGMRESSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "trans4", "-scale", "0.02", "-solver", "gmres",
+		"-lower", "er"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "gmres:") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunSolveRejectsBadInput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-matrix", "not-a-matrix"}, &out, &errb); rc != 1 {
+		t.Fatalf("unknown matrix: rc=%d", rc)
+	}
+	if rc := run([]string{"-solver", "qr", "-matrix", "wang3", "-scale", "0.02"}, &out, &errb); rc != 1 {
+		t.Fatalf("unknown solver: rc=%d", rc)
+	}
+	if rc := run([]string{"-bogus"}, &out, &errb); rc != 2 {
+		t.Fatalf("bogus flag: rc=%d", rc)
+	}
+}

@@ -67,7 +67,46 @@
 //	Z := [][]float64{z0, z1, z2, z3}
 //	ap.ApplyBatch(R, Z)               // ≈ k× cheaper than k Apply calls
 //
+// # Execution runtime & threading contract
+//
+// Every parallel region in Javelin — factorization stages, p2p
+// triangular-solve sweeps, SR tile batches, SpMV, solver matvecs —
+// schedules onto a persistent Runtime: a fixed pool of worker
+// goroutines that spin briefly then park when idle, so hot paths
+// never create goroutines per call and an idle runtime costs nothing.
+//
+// Ownership rules:
+//
+//   - Options.Runtime nil (the default): Factorize creates a private
+//     runtime sized to Options.Threads; the Preconditioner owns it
+//     and Close releases it. Close is idempotent and safe to call
+//     concurrently.
+//   - Options.Runtime set: the engine schedules onto the caller's
+//     runtime and never closes it. Any number of Preconditioners and
+//     concurrent Appliers may share one Runtime; whoever called
+//     NewRuntime closes it after all of them are done.
+//   - DefaultRuntime() is the lazily created process-wide pool
+//     (GOMAXPROCS lanes). Free functions with a plain threads
+//     argument run there. It is never closed.
+//
+// Threads semantics: Options.Threads is the maximum parallelism of
+// each region, defaulting to GOMAXPROCS (or the shared runtime's
+// parallelism). A runtime provides Threads-way parallelism with
+// Threads-1 workers because the goroutine opening a region always
+// helps execute it. When Options.Runtime is set, Threads is clamped
+// to the runtime's parallelism: the p2p sweeps run as gangs (all
+// lanes simultaneously, since lanes spin-wait on each other's
+// progress), and a gang wider than the runtime would have to fall
+// back to spawning goroutines per call. Concurrent solves over a
+// shared runtime are admission-controlled — gangs queue when the pool
+// is momentarily full rather than deadlocking — so oversubscription
+// degrades to serialization, never to incorrectness.
+//
+// Closing a Preconditioner (or a shared Runtime) while solves are in
+// flight is a programming error; solves issued after Close still
+// complete, degraded to caller-driven execution.
+//
 // The internal packages hold the substrates (sparse structures, level
-// scheduling, p2p synchronization, task pool, orderings, Krylov
-// solvers, baselines); this package is the supported surface.
+// scheduling, p2p synchronization, the execution runtime, orderings,
+// Krylov solvers, baselines); this package is the supported surface.
 package javelin

@@ -19,9 +19,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"javelin/internal/ilu"
 	"javelin/internal/sparse"
+	"javelin/internal/util"
 )
 
 // SupernodalOptions configures the WSMP-analogue factorization.
@@ -390,33 +392,24 @@ func (q *globalQueue) drain(threads, n int) error {
 			}
 		}
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, threads)
-	for t := 0; t < threads; t++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sc := newSnScratch(n)
-			for {
-				task := q.pop()
-				if task == nil {
-					return
-				}
-				if err := task(sc); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
-					return
-				}
+	// One drainer per range piece on the persistent runtime; each
+	// piece owns its dense scratch.
+	var firstErr atomic.Value
+	util.ParallelRanges(threads, threads, func(worker, lo, hi int) {
+		sc := newSnScratch(n)
+		for {
+			task := q.pop()
+			if task == nil {
+				return
 			}
-		}()
+			if err := task(sc); err != nil {
+				firstErr.CompareAndSwap(nil, err) //nolint:errcheck
+				return
+			}
+		}
+	})
+	if v := firstErr.Load(); v != nil {
+		return v.(error)
 	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
+	return nil
 }

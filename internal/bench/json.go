@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"javelin/internal/core"
+	"javelin/internal/util"
+)
+
+// Record is one machine-readable measurement, the unit of the
+// BENCH_*.json perf trajectory: the best-of-Repeats wall time of one
+// operation on one matrix at one thread count.
+type Record struct {
+	Matrix  string `json:"matrix"`
+	N       int    `json:"n"`
+	Nnz     int    `json:"nnz"`
+	Method  string `json:"method"` // resolved lower-stage method
+	Op      string `json:"op"`     // "factorize" | "apply"
+	Threads int    `json:"threads"`
+	NsPerOp int64  `json:"ns_per_op"`
+}
+
+// RunJSON measures numeric refactorization and preconditioner
+// application for every selected suite matrix across the thread
+// sweep, and writes the records to cfg.Out as a JSON array (the
+// format behind javelin-bench -json).
+func RunJSON(cfg Config) error {
+	cfg = cfg.WithDefaults()
+	recs, err := CollectRecords(cfg)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(cfg.Out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// CollectRecords runs the measurements behind RunJSON and returns
+// them unencoded.
+func CollectRecords(cfg Config) ([]Record, error) {
+	cfg = cfg.WithDefaults()
+	var recs []Record
+	for _, inst := range BuildSuite(cfg, "", true) {
+		a := inst.A
+		for _, threads := range cfg.Threads {
+			opt := core.DefaultOptions()
+			opt.Threads = threads
+			e, err := core.Factorize(a, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s @%dT: %w", inst.Spec.Name, threads, err)
+			}
+			base := Record{
+				Matrix:  inst.Spec.Name,
+				N:       a.N,
+				Nnz:     a.Nnz(),
+				Method:  e.Method().String(),
+				Threads: threads,
+			}
+			fac := base
+			fac.Op = "factorize"
+			fac.NsPerOp = TimeBest(cfg.Repeats, func() {
+				if err := e.Refactorize(a); err != nil {
+					panic(err)
+				}
+			}).Nanoseconds()
+			recs = append(recs, fac)
+
+			r := make([]float64, a.N)
+			z := make([]float64, a.N)
+			rng := util.NewRNG(77)
+			for i := range r {
+				r[i] = rng.NormFloat64()
+			}
+			ap := base
+			ap.Op = "apply"
+			ap.NsPerOp = TimeBest(cfg.Repeats, func() {
+				e.Apply(r, z)
+			}).Nanoseconds()
+			recs = append(recs, ap)
+			e.Close()
+		}
+	}
+	return recs, nil
+}

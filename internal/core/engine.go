@@ -13,12 +13,13 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 
+	"javelin/internal/exec"
 	"javelin/internal/ilu"
 	"javelin/internal/levelset"
 	"javelin/internal/p2p"
 	"javelin/internal/sparse"
-	"javelin/internal/taskpool"
 	"javelin/internal/util"
 )
 
@@ -81,6 +82,15 @@ type Options struct {
 	// serially even under SR (ER always uses a serial corner, which
 	// the paper found "good enough").
 	SerialCorner bool
+	// Runtime, when non-nil, is the shared persistent execution
+	// runtime the engine schedules every parallel region on —
+	// factorization stages, p2p solve sweeps, SR tile batches, and
+	// scatter. Several engines (and all their SolveContexts) may share
+	// one Runtime; the engine does not close it. When nil, the engine
+	// creates a private runtime sized to Threads and owns it (Close
+	// releases it). Threads is clamped to the runtime's parallelism so
+	// p2p gangs never exceed capacity.
+	Runtime *exec.Runtime
 }
 
 // DefaultOptions returns the paper-default configuration: ILU(0),
@@ -96,7 +106,14 @@ func DefaultOptions() Options {
 
 func (o Options) withDefaults() Options {
 	if o.Threads <= 0 {
-		o.Threads = util.MaxThreads()
+		if o.Runtime != nil {
+			o.Threads = o.Runtime.Parallelism()
+		} else {
+			o.Threads = util.MaxThreads()
+		}
+	}
+	if o.Runtime != nil && o.Threads > o.Runtime.Parallelism() {
+		o.Threads = o.Runtime.Parallelism()
 	}
 	if o.TileSize <= 0 {
 		o.TileSize = 512
@@ -129,7 +146,12 @@ type Engine struct {
 	schedU *p2p.Schedule // backward deps on upper rows (U-solve)
 
 	lower *lowerPlan
-	pool  *taskpool.Pool
+
+	// rt executes every parallel region of the engine. Owned (and
+	// closed by Close) only when Options.Runtime was nil.
+	rt        *exec.Runtime
+	ownRT     bool
+	closeOnce sync.Once
 
 	rowSumU []float64 // MILU: Σ of each finished U-row (nil unless Modified)
 
@@ -164,13 +186,19 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 		split = levelset.ComputeSplit(pattern, opt.Pattern, opt.Split)
 	}
 
-	permPat := sparse.PermuteSym(pattern, split.Perm, opt.Threads)
 	e := &Engine{
 		opt:   opt,
 		n:     a.N,
 		split: split,
 	}
+	if opt.Runtime != nil {
+		e.rt = opt.Runtime
+	} else {
+		e.rt = exec.New(opt.Threads)
+		e.ownRT = true
+	}
 	e.method = e.resolveMethod()
+	permPat := sparse.PermuteSymOn(e.rt, pattern, split.Perm, opt.Threads)
 
 	// Build the factor skeleton on the permuted pattern.
 	diagPos := make([]int, a.N)
@@ -183,6 +211,7 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 			}
 		}
 		if dp < 0 {
+			e.Close()
 			return nil, fmt.Errorf("core: row %d lacks a diagonal entry; apply a zero-free-diagonal permutation first", i)
 		}
 		diagPos[i] = dp
@@ -194,10 +223,8 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 
 	e.buildSchedules()
 	if err := e.buildLowerPlan(); err != nil {
+		e.Close()
 		return nil, err
-	}
-	if e.method == LowerSR {
-		e.pool = taskpool.New(opt.Threads)
 	}
 
 	e.defCtx = e.NewContext()
@@ -249,12 +276,23 @@ func (e *Engine) Perm() sparse.Perm { return e.split.Perm }
 // Threads returns the configured worker count.
 func (e *Engine) Threads() int { return e.opt.Threads }
 
-// Close releases the engine's task pool (safe to call more than once).
+// Runtime returns the execution runtime the engine schedules on
+// (shared when Options.Runtime was set, private otherwise).
+func (e *Engine) Runtime() *exec.Runtime { return e.rt }
+
+// Close releases the engine's private execution runtime; a shared
+// runtime passed via Options.Runtime is left untouched (its owner
+// closes it). Close is idempotent and safe for concurrent use (the
+// former unsynchronized check-and-nil on the task pool was a data
+// race). Solves issued after Close still complete — the closed
+// runtime degrades to caller-driven execution — but should be
+// considered a programming error.
 func (e *Engine) Close() {
-	if e.pool != nil {
-		e.pool.Close()
-		e.pool = nil
-	}
+	e.closeOnce.Do(func() {
+		if e.ownRT {
+			e.rt.Close()
+		}
+	})
 }
 
 // buildSchedules constructs the p2p plans. Forward dependencies of
@@ -275,7 +313,7 @@ func (e *Engine) buildSchedules() {
 		}
 		fwdLevels[l] = rows
 	}
-	e.schedL = p2p.NewSchedule(fwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
+	e.schedL = p2p.NewSchedule(e.rt, fwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
 		cols, _ := lu.Row(r)
 		for _, c := range cols {
 			if c >= r {
@@ -308,7 +346,7 @@ func (e *Engine) buildSchedules() {
 	for r := 0; r < nUp; r++ {
 		bwdLevels[lvlB[r]] = append(bwdLevels[lvlB[r]], r)
 	}
-	e.schedU = p2p.NewSchedule(bwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
+	e.schedU = p2p.NewSchedule(e.rt, bwdLevels, e.n, e.opt.Threads, func(r int, emit func(int)) {
 		for k := e.factor.DiagPos[r] + 1; k < lu.RowPtr[r+1]; k++ {
 			emit(lu.ColIdx[k])
 		}

@@ -3,11 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 
 	"javelin/internal/sparse"
-	"javelin/internal/util"
 )
 
 // Refactorize re-runs the numeric factorization on fresh values from
@@ -50,7 +48,7 @@ func (e *Engine) scatter(a *sparse.CSR) {
 	lu := e.factor.LU
 	perm := e.split.Perm
 	inv := perm.Inverse()
-	util.ParallelFor(e.n, e.opt.Threads, func(newI int) {
+	e.rt.For(e.n, e.opt.Threads, func(newI int) {
 		lo, hi := lu.RowPtr[newI], lu.RowPtr[newI+1]
 		for k := lo; k < hi; k++ {
 			lu.Val[k] = 0
@@ -103,7 +101,7 @@ func (e *Engine) factorLowerER() error {
 	comps := e.lower.comp
 	// Phase 1: FACTOR_L — dynamic schedule, chunk 1 (the paper's
 	// OpenMP DYNAMIC/CHUNK_SIZE=1 configuration).
-	util.ParallelForDynamic(nLower, e.opt.Threads, 1, func(i int) {
+	e.rt.ForDynamic(nLower, e.opt.Threads, 1, func(i int) {
 		r := nUp + i
 		comp, err := eliminatePivots(e.factor, r, 0, nUp)
 		if err != nil {
@@ -238,7 +236,7 @@ func (e *Engine) factorCorner() error {
 	for g := 0; g < e.split.NumLowerLevels(); g++ {
 		lo := nUp + e.split.LowerLvlPtr[g]
 		hi := nUp + e.split.LowerLvlPtr[g+1]
-		util.ParallelForDynamic(hi-lo, e.opt.Threads, 1, func(i int) {
+		e.rt.ForDynamic(hi-lo, e.opt.Threads, 1, func(i int) {
 			r := lo + i
 			comp, err := eliminatePivots(e.factor, r, nUp, r)
 			if err == nil {
@@ -255,23 +253,20 @@ func (e *Engine) factorCorner() error {
 	return nil
 }
 
-// runTiles dispatches tile bodies on the task pool (or inline when the
-// pool is absent / single tile).
+// runTiles dispatches tile bodies as a work-stealing batch on the
+// runtime (inline for single tiles or single-threaded engines). Tiles
+// are row-disjoint, so bodies never race.
 func (e *Engine) runTiles(tiles []tileRange, body func(tileRange)) {
-	if e.pool == nil || len(tiles) <= 1 {
+	if len(tiles) <= 1 || e.opt.Threads <= 1 {
 		for _, t := range tiles {
 			body(t)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(tiles))
+	b := e.rt.NewBatch()
 	for _, t := range tiles {
 		t := t
-		e.pool.Submit(func() {
-			defer wg.Done()
-			body(t)
-		})
+		b.Submit(func() { body(t) })
 	}
-	wg.Wait()
+	b.Wait()
 }

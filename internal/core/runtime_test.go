@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"javelin/internal/exec"
+	"javelin/internal/gen"
+	"javelin/internal/spmv"
+	"javelin/internal/util"
+)
+
+// TestCloseConcurrentAndDouble exercises the Close contract under
+// -race: any number of goroutines may Close the same engine, twice
+// over, without a data race (the old pool check-and-nil raced).
+func TestCloseConcurrentAndDouble(t *testing.T) {
+	a := gen.GridLaplacian(30, 30, 1, gen.Star5, 0.2)
+	opt := DefaultOptions()
+	opt.Threads = 4
+	opt.Lower = LowerSR
+	e, err := Factorize(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			e.Close()
+			e.Close()
+		}()
+	}
+	wg.Wait()
+	e.Close()
+	// Solves after Close degrade but stay correct.
+	b := make([]float64, a.N)
+	z := make([]float64, a.N)
+	for i := range b {
+		b[i] = 1
+	}
+	e.Apply(b, z)
+	for i := range z {
+		if math.IsNaN(z[i]) {
+			t.Fatalf("NaN at %d after Close", i)
+		}
+	}
+}
+
+// TestSharedRuntimeAcrossEngines is the tentpole's sharing contract:
+// several Preconditioners schedule onto one Runtime (instead of one
+// task pool per engine), concurrent solves stay correct, and engine
+// Close does not tear the shared runtime down.
+func TestSharedRuntimeAcrossEngines(t *testing.T) {
+	rt := exec.New(4)
+	defer rt.Close()
+
+	build := func(nx int, lower LowerMethod) (*Engine, int) {
+		a := gen.GridLaplacian(nx, nx, 1, gen.Star5, 0.2)
+		opt := DefaultOptions()
+		opt.Runtime = rt
+		opt.Lower = lower
+		e, err := Factorize(a, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e, a.N
+	}
+	e1, n1 := build(40, LowerSR)
+	defer e1.Close()
+	e2, n2 := build(35, LowerER)
+	defer e2.Close()
+
+	if e1.Runtime() != rt || e2.Runtime() != rt {
+		t.Fatal("engines not on the shared runtime")
+	}
+	if e1.Threads() > rt.Parallelism() {
+		t.Fatalf("Threads %d exceeds runtime parallelism %d", e1.Threads(), rt.Parallelism())
+	}
+
+	// Reference solutions from single-threaded engines.
+	ref := func(e *Engine, n int) []float64 {
+		b := make([]float64, n)
+		rng := util.NewRNG(9)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		z := make([]float64, n)
+		e.Apply(b, z)
+		return append(b, z...)
+	}
+	want1, want2 := ref(e1, n1), ref(e2, n2)
+
+	var wg sync.WaitGroup
+	errc := make(chan string, 16)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c1, c2 := e1.NewContext(), e2.NewContext()
+			z1 := make([]float64, n1)
+			z2 := make([]float64, n2)
+			for rep := 0; rep < 5; rep++ {
+				c1.Apply(want1[:n1], z1)
+				c2.Apply(want2[:n2], z2)
+				for i := range z1 {
+					if math.Abs(z1[i]-want1[n1+i]) > 1e-12 {
+						errc <- "engine 1 mismatch"
+						return
+					}
+				}
+				for i := range z2 {
+					if math.Abs(z2[i]-want2[n2+i]) > 1e-12 {
+						errc <- "engine 2 mismatch"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for e := range errc {
+		t.Fatal(e)
+	}
+
+	// Engine Close must leave the shared runtime usable.
+	e1.Close()
+	ran := false
+	rt.For(1, 1, func(int) { ran = true })
+	if !ran {
+		t.Fatal("shared runtime dead after engine Close")
+	}
+}
+
+// TestNoGoroutineGrowthAcrossSolves is the acceptance criterion: on a
+// warm runtime, no hot path — p2p solve sweeps, SR tile batches,
+// corner groups, scatter/refactorize, SpMV — spawns goroutines per
+// call.
+func TestNoGoroutineGrowthAcrossSolves(t *testing.T) {
+	a := gen.GridLaplacian(60, 60, 1, gen.Star5, 0.2)
+	opt := DefaultOptions()
+	opt.Threads = 4
+	opt.Lower = LowerSR
+	opt.Split.MinRowsPerLevel = 32 // force a nontrivial lower stage
+	e, err := Factorize(a, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	b := make([]float64, a.N)
+	z := make([]float64, a.N)
+	y := make([]float64, a.N)
+	rng := util.NewRNG(11)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	work := func() {
+		e.Apply(b, z)
+		spmv.ParallelOn(e.Runtime(), a, z, y, e.Threads())
+		if err := e.Refactorize(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	work() // warm: runtime workers exist, pools primed
+	work()
+	before := runtime.NumGoroutine()
+	for rep := 0; rep < 50; rep++ {
+		work()
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutines grew %d -> %d across warm solves", before, after)
+	}
+}

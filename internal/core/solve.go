@@ -1,11 +1,5 @@
 package core
 
-import (
-	"sync"
-
-	"javelin/internal/util"
-)
-
 // SolveLower solves L·x = b on the engine's permuted indexing using
 // the engine's built-in default context. Prefer a per-goroutine
 // SolveContext for concurrent use.
@@ -155,10 +149,9 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 	})
 }
 
-// parallelRows runs body(r) for r in [lo, hi) using the task pool when
-// present (SR) or a dynamic parallel-for (ER/None), falling back to
-// inline execution for small ranges where spawning costs more than
-// the work.
+// parallelRows runs body(r) for r in [lo, hi) as a dynamic region on
+// the engine's runtime, falling back to inline execution for small
+// ranges where even block claiming costs more than the work.
 func (e *Engine) parallelRows(lo, hi int, body func(r int)) {
 	n := hi - lo
 	if n <= 0 {
@@ -170,27 +163,7 @@ func (e *Engine) parallelRows(lo, hi int, body func(r int)) {
 		}
 		return
 	}
-	if e.pool != nil {
-		const chunk = 16
-		var wg sync.WaitGroup
-		for s := lo; s < hi; s += chunk {
-			s := s
-			t := s + chunk
-			if t > hi {
-				t = hi
-			}
-			wg.Add(1)
-			e.pool.Submit(func() {
-				defer wg.Done()
-				for r := s; r < t; r++ {
-					body(r)
-				}
-			})
-		}
-		wg.Wait()
-		return
-	}
-	util.ParallelForDynamic(n, e.opt.Threads, 8, func(i int) {
+	e.rt.ForDynamic(n, e.opt.Threads, 8, func(i int) {
 		body(lo + i)
 	})
 }

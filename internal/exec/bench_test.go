@@ -1,0 +1,61 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// The spawn benchmarks reproduce the pre-runtime ParallelFor (fresh
+// goroutines + WaitGroup join per call) so the per-region saving of
+// the persistent runtime stays measurable at small n, where spawn
+// overhead used to dominate SpMV-bound paths.
+
+func spawnedFor(n, threads int, body func(i int)) {
+	if threads > n {
+		threads = n
+	}
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		if lo >= n {
+			break
+		}
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				body(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func benchFor(b *testing.B, n int, warm bool) {
+	x := make([]float64, n)
+	body := func(i int) { x[i] += 1 }
+	if warm {
+		r := New(4)
+		defer r.Close()
+		r.For(n, 4, body)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r.For(n, 4, body)
+		}
+		return
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spawnedFor(n, 4, body)
+	}
+}
+
+func BenchmarkForWarmRuntimeN1e3(b *testing.B) { benchFor(b, 1000, true) }
+func BenchmarkForSpawnedN1e3(b *testing.B)     { benchFor(b, 1000, false) }
+func BenchmarkForWarmRuntimeN1e5(b *testing.B) { benchFor(b, 100000, true) }
+func BenchmarkForSpawnedN1e5(b *testing.B)     { benchFor(b, 100000, false) }

@@ -1,0 +1,441 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversRangeOnce(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	for _, n := range []int{1, 2, 7, 100, 1777} {
+		for _, par := range []int{1, 2, 4, 8, 0} {
+			hits := make([]atomic.Int32, n)
+			r.For(n, par, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if hits[i].Load() != 1 {
+					t.Fatalf("n=%d par=%d: index %d hit %d times", n, par, i, hits[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestForDynamicCoversRangeOnce(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	for _, chunk := range []int{1, 3, 64, 10000} {
+		n := 777
+		hits := make([]atomic.Int32, n)
+		r.ForDynamic(n, 4, chunk, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("chunk=%d: index %d hit %d times", chunk, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForEmptyAndSmall(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	r.For(0, 4, func(int) { t.Error("body called for n=0") })
+	r.ForDynamic(0, 4, 1, func(int) { t.Error("body called for n=0") })
+	r.Ranges(0, 4, func(int, int, int) { t.Error("body called for n=0") })
+	ran := false
+	r.For(1, 8, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("n=1 not run")
+	}
+}
+
+func TestRangesCoverAndSkipEmpty(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	// pieces > n: the trailing empty pieces must never invoke body.
+	n, pieces := 3, 8
+	covered := make([]atomic.Int32, n)
+	var calls atomic.Int32
+	r.Ranges(n, pieces, func(p, lo, hi int) {
+		calls.Add(1)
+		if lo >= hi {
+			t.Errorf("empty range delivered: piece %d [%d,%d)", p, lo, hi)
+		}
+		if p < 0 || p >= pieces {
+			t.Errorf("piece index %d out of range", p)
+		}
+		for i := lo; i < hi; i++ {
+			covered[i].Add(1)
+		}
+	})
+	for i := range covered {
+		if covered[i].Load() != 1 {
+			t.Fatalf("index %d covered %d times", i, covered[i].Load())
+		}
+	}
+	if calls.Load() > int32(n) {
+		t.Fatalf("%d body calls for %d non-empty pieces", calls.Load(), n)
+	}
+}
+
+func TestRangesDistinctPieceScratch(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	n, pieces := 1000, 4
+	scratch := make([][]int, pieces)
+	r.Ranges(n, pieces, func(p, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			scratch[p] = append(scratch[p], i)
+		}
+	})
+	total := 0
+	for _, s := range scratch {
+		total += len(s)
+	}
+	if total != n {
+		t.Fatalf("pieces covered %d of %d", total, n)
+	}
+}
+
+func TestConcurrentRegionsShareRuntime(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				r.For(100, 4, func(i int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 8*50*100 {
+		t.Fatalf("total %d", total.Load())
+	}
+}
+
+// TestGangPiecesRunConcurrently proves the gang contract: every piece
+// spins until all pieces have arrived, which only terminates if all
+// of them are genuinely running at once.
+func TestGangPiecesRunConcurrently(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	for rep := 0; rep < 20; rep++ {
+		var arrived atomic.Int32
+		r.Gang(4, func(p int) {
+			arrived.Add(1)
+			for arrived.Load() < 4 {
+				runtime.Gosched()
+			}
+		})
+	}
+}
+
+// TestGangAdmissionSerializes runs more concurrent gangs than the
+// runtime can hold at once; admission control must queue them rather
+// than deadlock.
+func TestGangAdmissionSerializes(t *testing.T) {
+	r := New(2) // capacity for one 2-piece gang at a time
+	defer r.Close()
+	var wg sync.WaitGroup
+	var done atomic.Int32
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var arrived atomic.Int32
+			r.Gang(2, func(p int) {
+				arrived.Add(1)
+				for arrived.Load() < 2 {
+					runtime.Gosched()
+				}
+			})
+			done.Add(1)
+		}()
+	}
+	wg.Wait()
+	if done.Load() != 4 {
+		t.Fatalf("completed %d of 4 gangs", done.Load())
+	}
+}
+
+func TestGangWiderThanRuntimeFallsBack(t *testing.T) {
+	r := New(1) // zero workers
+	defer r.Close()
+	var arrived atomic.Int32
+	r.Gang(4, func(p int) {
+		arrived.Add(1)
+		for arrived.Load() < 4 {
+			runtime.Gosched()
+		}
+	})
+	if arrived.Load() != 4 {
+		t.Fatalf("ran %d of 4 pieces", arrived.Load())
+	}
+}
+
+func TestBatchRunsAllTasks(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	b := r.NewBatch()
+	var count atomic.Int64
+	for i := 0; i < 1000; i++ {
+		b.Submit(func() { count.Add(1) })
+	}
+	b.Wait()
+	if count.Load() != 1000 {
+		t.Fatalf("ran %d of 1000", count.Load())
+	}
+}
+
+func TestBatchNestedSubmission(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	b := r.NewBatch()
+	var count atomic.Int64
+	for i := 0; i < 50; i++ {
+		b.Submit(func() {
+			count.Add(1)
+			for j := 0; j < 10; j++ {
+				b.Submit(func() { count.Add(1) })
+			}
+		})
+	}
+	b.Wait()
+	if count.Load() != 50+500 {
+		t.Fatalf("ran %d of 550", count.Load())
+	}
+}
+
+func TestBatchReusableAcrossWaves(t *testing.T) {
+	r := New(2)
+	defer r.Close()
+	b := r.NewBatch()
+	var count atomic.Int64
+	for wave := 0; wave < 20; wave++ {
+		for i := 0; i < 50; i++ {
+			b.Submit(func() { count.Add(1) })
+		}
+		b.Wait()
+		if got := count.Load(); got != int64((wave+1)*50) {
+			t.Fatalf("wave %d: count %d", wave, got)
+		}
+	}
+}
+
+func TestConcurrentBatches(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := r.NewBatch()
+			var count atomic.Int64
+			for i := 0; i < 200; i++ {
+				b.Submit(func() { count.Add(1) })
+			}
+			b.Wait()
+			if count.Load() != 200 {
+				t.Errorf("ran %d of 200", count.Load())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestBatchStealingBalancesSkewedLoad(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	b := r.NewBatch()
+	var done atomic.Int64
+	start := time.Now()
+	b.Submit(func() {
+		time.Sleep(30 * time.Millisecond)
+		done.Add(1)
+	})
+	for i := 0; i < 200; i++ {
+		b.Submit(func() {
+			time.Sleep(200 * time.Microsecond)
+			done.Add(1)
+		})
+	}
+	b.Wait()
+	elapsed := time.Since(start)
+	if done.Load() != 201 {
+		t.Fatalf("ran %d of 201", done.Load())
+	}
+	if elapsed > 60*time.Millisecond {
+		t.Logf("warning: elapsed %v; stealing may be ineffective (loaded host?)", elapsed)
+	}
+}
+
+func TestMixedConstructsConcurrently(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	var wg sync.WaitGroup
+	var forTotal, batchTotal atomic.Int64
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 30; rep++ {
+			r.ForDynamic(64, 4, 1, func(i int) { forTotal.Add(1) })
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		b := r.NewBatch()
+		for rep := 0; rep < 30; rep++ {
+			for i := 0; i < 16; i++ {
+				b.Submit(func() { batchTotal.Add(1) })
+			}
+			b.Wait()
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for rep := 0; rep < 30; rep++ {
+			var arrived atomic.Int32
+			r.Gang(2, func(p int) {
+				arrived.Add(1)
+				for arrived.Load() < 2 {
+					runtime.Gosched()
+				}
+			})
+		}
+	}()
+	wg.Wait()
+	if forTotal.Load() != 30*64 || batchTotal.Load() != 30*16 {
+		t.Fatalf("for=%d batch=%d", forTotal.Load(), batchTotal.Load())
+	}
+}
+
+func TestParallelismFloorAndDefault(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	if r.Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d, want 1", r.Parallelism())
+	}
+	ran := false
+	r.For(1, 4, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("inline region did not run")
+	}
+	if Default() != Default() {
+		t.Fatal("Default() not a singleton")
+	}
+	if got := Default().Parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default parallelism %d, want GOMAXPROCS=%d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	r := New(4)
+	var count atomic.Int64
+	r.For(100, 4, func(i int) { count.Add(1) })
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Close()
+		}()
+	}
+	wg.Wait()
+	r.Close()
+	if count.Load() != 100 {
+		t.Fatalf("ran %d", count.Load())
+	}
+}
+
+// TestClosedRuntimeDegrades: regions opened after Close must still
+// complete correctly (caller-driven, or spawn-fallback for gangs).
+func TestClosedRuntimeDegrades(t *testing.T) {
+	r := New(4)
+	r.Close()
+	var count atomic.Int64
+	r.For(100, 4, func(i int) { count.Add(1) })
+	r.ForDynamic(50, 4, 1, func(i int) { count.Add(1) })
+	var arrived atomic.Int32
+	r.Gang(3, func(p int) {
+		arrived.Add(1)
+		for arrived.Load() < 3 {
+			runtime.Gosched()
+		}
+	})
+	b := r.NewBatch()
+	for i := 0; i < 20; i++ {
+		b.Submit(func() { count.Add(1) })
+	}
+	b.Wait()
+	if count.Load() != 170 || arrived.Load() != 3 {
+		t.Fatalf("count=%d arrived=%d", count.Load(), arrived.Load())
+	}
+}
+
+// TestNoGoroutineGrowthWhenWarm is the runtime-level half of the
+// acceptance criterion: repeated regions on a warm runtime must not
+// spawn goroutines.
+func TestNoGoroutineGrowthWhenWarm(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	warm := func() {
+		r.For(256, 4, func(i int) {})
+		r.ForDynamic(256, 4, 1, func(i int) {})
+		r.Gang(4, func(p int) {})
+		b := r.NewBatch()
+		for i := 0; i < 8; i++ {
+			b.Submit(func() {})
+		}
+		b.Wait()
+	}
+	warm()
+	before := runtime.NumGoroutine()
+	for rep := 0; rep < 100; rep++ {
+		warm()
+	}
+	after := runtime.NumGoroutine()
+	if after > before {
+		t.Fatalf("goroutines grew from %d to %d across warm regions", before, after)
+	}
+}
+
+func TestDequeLIFOOwnerFIFOThief(t *testing.T) {
+	var d deque
+	order := []int{}
+	mk := func(i int) task { return task{fn: func() { order = append(order, i) }} }
+	for i := 0; i < 3; i++ {
+		d.push(mk(i))
+	}
+	if d.empty() {
+		t.Fatal("deque empty after pushes")
+	}
+	p, ok1 := d.pop()   // newest: 2
+	s, ok2 := d.steal() // oldest: 0
+	q, ok3 := d.pop()   // remaining: 1
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatal("expected three tasks")
+	}
+	p.fn()
+	s.fn()
+	q.fn()
+	if order[0] != 2 || order[1] != 0 || order[2] != 1 {
+		t.Fatalf("order %v, want [2 0 1]", order)
+	}
+	if _, ok := d.pop(); ok {
+		t.Fatal("deque should be empty")
+	}
+	if _, ok := d.steal(); ok {
+		t.Fatal("deque should be empty")
+	}
+	if !d.empty() {
+		t.Fatal("deque should report empty")
+	}
+}

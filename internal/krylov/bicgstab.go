@@ -25,7 +25,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 	vs := opt.workspace().vectors(n, 8)
 	r, rhat, p, v, s, t, phat, shat := vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7]
 
-	a.MatVec(x, v)
+	opt.matVec(a, x, v)
 	for i := range r {
 		r[i] = b[i] - v[i]
 	}
@@ -58,7 +58,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 			p[i] = r[i] + beta*(p[i]-omega*v[i])
 		}
 		m.Apply(p, phat)
-		a.MatVec(phat, v)
+		opt.matVec(a, phat, v)
 		rv := util.Dot(rhat, v)
 		if rv == 0 || math.IsNaN(rv) {
 			return st, errors.New("krylov: BiCGSTAB breakdown (r̂ᵀv = 0)")
@@ -77,7 +77,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 			return st, nil
 		}
 		m.Apply(s, shat)
-		a.MatVec(shat, t)
+		opt.matVec(a, shat, t)
 		tt := util.Dot(t, t)
 		if tt == 0 || math.IsNaN(tt) {
 			return st, errors.New("krylov: BiCGSTAB breakdown (tᵀt = 0)")

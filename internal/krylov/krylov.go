@@ -10,7 +10,9 @@ import (
 	"errors"
 	"math"
 
+	"javelin/internal/exec"
 	"javelin/internal/sparse"
+	"javelin/internal/spmv"
 	"javelin/internal/util"
 )
 
@@ -36,11 +38,29 @@ type Stats struct {
 // 1e-6). MaxIter 0 means 10·N. Restart (GMRES only) 0 means 50.
 // Work, when non-nil, supplies reusable storage so the solve performs
 // no per-call allocation (after the workspace has grown to size).
+//
+// Threads > 1 runs the solver's matrix–vector products in parallel on
+// Runtime (nil means the process-wide default runtime) — the
+// SpMV-bound half of every Krylov iteration, which on a warm runtime
+// costs block claims rather than goroutine spawns. Threads <= 1 keeps
+// the serial kernel. Vector reductions stay serial either way so the
+// summation order (and hence convergence trajectory) is deterministic.
 type Options struct {
 	Tol     float64
 	MaxIter int
 	Restart int
 	Work    *Workspace
+	Threads int
+	Runtime *exec.Runtime
+}
+
+// matVec computes y = A·x with the configured parallelism.
+func (o Options) matVec(a *sparse.CSR, x, y []float64) {
+	if o.Threads > 1 {
+		spmv.ParallelOn(o.Runtime, a, x, y, o.Threads)
+		return
+	}
+	a.MatVec(x, y)
 }
 
 // workspace returns the caller's workspace or a private throwaway.
@@ -79,7 +99,7 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 	vs := opt.workspace().vectors(n, 4)
 	r, z, p, ap := vs[0], vs[1], vs[2], vs[3]
 
-	a.MatVec(x, ap)
+	opt.matVec(a, x, ap)
 	for i := range r {
 		r[i] = b[i] - ap[i]
 	}
@@ -99,7 +119,7 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 			st.Converged = true
 			return st, nil
 		}
-		a.MatVec(p, ap)
+		opt.matVec(a, p, ap)
 		pap := util.Dot(p, ap)
 		if pap == 0 || math.IsNaN(pap) {
 			return st, errors.New("krylov: CG breakdown (pᵀAp = 0); matrix may not be SPD")
@@ -142,7 +162,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 	st := Stats{}
 
 	trueResidual := func() float64 {
-		a.MatVec(x, t)
+		opt.matVec(a, x, t)
 		for i := range w {
 			w[i] = b[i] - t[i]
 		}
@@ -151,7 +171,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 
 	for st.Iterations < opt.MaxIter {
 		// r0 = M⁻¹(b − A·x)
-		a.MatVec(x, t)
+		opt.matVec(a, x, t)
 		for i := range w {
 			w[i] = b[i] - t[i]
 		}
@@ -175,7 +195,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 		for ; j < restart && st.Iterations < opt.MaxIter; j++ {
 			st.Iterations++
 			// w = M⁻¹ A v_j, modified Gram–Schmidt.
-			a.MatVec(v[j], t)
+			opt.matVec(a, v[j], t)
 			m.Apply(t, w)
 			for i := 0; i <= j; i++ {
 				h[i][j] = util.Dot(w, v[i])

@@ -15,8 +15,9 @@ package p2p
 
 import (
 	"runtime"
-	"sync"
 	"sync/atomic"
+
+	"javelin/internal/exec"
 )
 
 // cacheLinePad separates per-worker counters to avoid false sharing;
@@ -41,6 +42,9 @@ type DepFunc func(row int, emit func(dep int))
 // time) or give each goroutine its own NewRun.
 type Schedule struct {
 	Workers int
+	// rt executes the sweeps: each Execute is one gang of Workers
+	// pieces on the persistent runtime (no per-call goroutines).
+	rt *exec.Runtime
 	// RowOf[w] lists the rows of worker w in execution order
 	// (level-major, round-robin dealt within each level).
 	RowOf [][]int
@@ -80,12 +84,19 @@ func (s *Schedule) NewRun() *Run {
 // enumerates each row's dependency rows; dependencies on rows not
 // present in levels are ignored (the caller guarantees they complete
 // before Run starts — e.g. upper-stage rows during a lower-stage run).
-func NewSchedule(levels [][]int, n, workers int, deps DepFunc) *Schedule {
+// rt is the execution runtime the sweeps run on (nil means the
+// process-wide default); size it to at least workers lanes or every
+// sweep falls back to spawning goroutines.
+func NewSchedule(rt *exec.Runtime, levels [][]int, n, workers int, deps DepFunc) *Schedule {
 	if workers < 1 {
 		workers = 1
 	}
+	if rt == nil {
+		rt = exec.Default()
+	}
 	s := &Schedule{
 		Workers: workers,
+		rt:      rt,
 		RowOf:   make([][]int, workers),
 		ownerOf: make([]int32, n),
 		seqOf:   make([]int32, n),
@@ -177,10 +188,13 @@ func (s *Schedule) Run(body func(row int)) {
 	s.defaultRun.Execute(body)
 }
 
-// Execute runs body(row) for every scheduled row, spawning one
-// goroutine per worker, honoring all dependencies via p2p spin waits.
-// body must complete the row before returning. A Run must not be
-// executed concurrently with itself.
+// Execute runs body(row) for every scheduled row as one gang of
+// Workers pieces on the schedule's runtime, honoring all dependencies
+// via p2p spin waits. The gang guarantee (all pieces running at once)
+// is what makes the spin waits safe; concurrent Executes over a
+// shared runtime are admission-controlled, not deadlocked. body must
+// complete the row before returning. A Run must not be executed
+// concurrently with itself.
 func (r *Run) Execute(body func(row int)) {
 	for i := range r.progress {
 		r.progress[i].v.Store(0)
@@ -190,15 +204,9 @@ func (r *Run) Execute(body func(row int)) {
 		r.runWorker(0, body)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(s.Workers)
-	for w := 0; w < s.Workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			r.runWorker(w, body)
-		}(w)
-	}
-	wg.Wait()
+	s.rt.Gang(s.Workers, func(w int) {
+		r.runWorker(w, body)
+	})
 }
 
 func (r *Run) runWorker(w int, body func(row int)) {

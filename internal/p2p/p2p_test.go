@@ -6,10 +6,15 @@ import (
 	"testing"
 	"testing/quick"
 
+	"javelin/internal/exec"
 	"javelin/internal/gen"
 	"javelin/internal/levelset"
 	"javelin/internal/util"
 )
+
+// testRT is a shared wide runtime so schedules up to 8 workers run on
+// persistent lanes rather than the spawn fallback.
+var testRT = exec.New(9)
 
 // buildFromMatrixLevels builds a schedule from a matrix's level sets,
 // mirroring how the engine uses the package.
@@ -33,7 +38,7 @@ func buildFromMatrixLevels(n int, rowDeps [][]int, workers int) *Schedule {
 	for i := 0; i < n; i++ {
 		levels[lvl[i]] = append(levels[lvl[i]], i)
 	}
-	return NewSchedule(levels, n, workers, func(r int, emit func(int)) {
+	return NewSchedule(testRT, levels, n, workers, func(r int, emit func(int)) {
 		for _, d := range rowDeps[r] {
 			emit(d)
 		}
@@ -117,7 +122,7 @@ func TestPruningReducesDependencies(t *testing.T) {
 			}
 		}
 	}
-	s := NewSchedule(levels, a.N, workers, func(r int, emit func(int)) {
+	s := NewSchedule(testRT, levels, a.N, workers, func(r int, emit func(int)) {
 		cols, _ := a.Row(r)
 		for _, c := range cols {
 			if c >= r {
@@ -172,7 +177,7 @@ func TestDepsOutsideScheduleIgnored(t *testing.T) {
 	// Rows 2,3 scheduled; row 2 depends on row 0 (not scheduled) —
 	// the schedule must not deadlock.
 	levels := [][]int{{2}, {3}}
-	s := NewSchedule(levels, 4, 2, func(r int, emit func(int)) {
+	s := NewSchedule(nil, levels, 4, 2, func(r int, emit func(int)) {
 		emit(0) // unscheduled
 		if r == 3 {
 			emit(2)

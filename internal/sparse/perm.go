@@ -3,7 +3,7 @@ package sparse
 import (
 	"fmt"
 
-	"javelin/internal/util"
+	"javelin/internal/exec"
 )
 
 // Perm represents a permutation: Perm[newIndex] = oldIndex.
@@ -70,12 +70,22 @@ func (p Perm) ApplyVecInverse(x, y []float64) {
 	}
 }
 
-// PermuteSym returns P·A·Pᵀ where row/column old p[new] moves to new.
-// The permutation is applied symmetrically, as done for coefficient
-// matrices before factorization. Column indices in each output row
-// are re-sorted. The copy is done in parallel over rows (the paper's
-// "copy ... in parallel allowing for first-touch").
+// PermuteSym returns P·A·Pᵀ where row/column old p[new] moves to new,
+// copying in parallel on the process-wide default runtime.
 func PermuteSym(a *CSR, p Perm, threads int) *CSR {
+	return PermuteSymOn(nil, a, p, threads)
+}
+
+// PermuteSymOn returns P·A·Pᵀ where row/column old p[new] moves to
+// new, with the row copies scheduled on the given runtime (nil means
+// the default). The permutation is applied symmetrically, as done for
+// coefficient matrices before factorization. Column indices in each
+// output row are re-sorted. The copy is done in parallel over rows
+// (the paper's "copy ... in parallel allowing for first-touch").
+func PermuteSymOn(rt *exec.Runtime, a *CSR, p Perm, threads int) *CSR {
+	if rt == nil {
+		rt = exec.Default()
+	}
 	n := a.N
 	if len(p) != n || a.M != n {
 		panic("sparse: PermuteSym requires square matrix and matching perm")
@@ -90,7 +100,7 @@ func PermuteSym(a *CSR, p Perm, threads int) *CSR {
 	}
 	col := make([]int, ptr[n])
 	val := make([]float64, ptr[n])
-	util.ParallelFor(n, threads, func(newI int) {
+	rt.For(n, threads, func(newI int) {
 		oldI := p[newI]
 		cols, vals := a.Row(oldI)
 		base := ptr[newI]

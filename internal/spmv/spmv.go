@@ -5,6 +5,7 @@
 package spmv
 
 import (
+	"javelin/internal/exec"
 	"javelin/internal/sparse"
 	"javelin/internal/util"
 )
@@ -14,9 +15,21 @@ func Serial(a *sparse.CSR, x, y []float64) {
 	a.MatVec(x, y)
 }
 
-// Parallel computes y = A·x with rows dealt in contiguous blocks.
+// Parallel computes y = A·x with rows dealt in contiguous blocks on
+// the process-wide default runtime.
 func Parallel(a *sparse.CSR, x, y []float64, threads int) {
-	util.ParallelFor(a.N, threads, func(i int) {
+	ParallelOn(nil, a, x, y, threads)
+}
+
+// ParallelOn computes y = A·x with rows dealt in contiguous blocks on
+// the given runtime (nil means the process-wide default). At small n
+// this is the kernel where per-call goroutine spawning used to
+// dominate; on a warm runtime it costs only block claims.
+func ParallelOn(rt *exec.Runtime, a *sparse.CSR, x, y []float64, threads int) {
+	if rt == nil {
+		rt = exec.Default()
+	}
+	rt.For(a.N, threads, func(i int) {
 		s := 0.0
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
 			s += a.Val[k] * x[a.ColIdx[k]]
@@ -75,9 +88,19 @@ func NewSegmented(a *sparse.CSR, tileSize int) *Segmented {
 // NumTiles returns the tile count.
 func (s *Segmented) NumTiles() int { return len(s.tileRow0) }
 
-// Mul computes y = A·x. Not safe for concurrent calls on one
-// Segmented (shared boundary scratch).
+// Mul computes y = A·x on the default runtime. Not safe for
+// concurrent calls on one Segmented (shared boundary scratch).
 func (s *Segmented) Mul(x, y []float64, threads int) {
+	s.MulOn(nil, x, y, threads)
+}
+
+// MulOn computes y = A·x with tiles scheduled on the given runtime
+// (nil means the default). Not safe for concurrent calls on one
+// Segmented (shared boundary scratch).
+func (s *Segmented) MulOn(rt *exec.Runtime, x, y []float64, threads int) {
+	if rt == nil {
+		rt = exec.Default()
+	}
 	a := s.a
 	nnz := a.Nnz()
 	nt := len(s.tileRow0)
@@ -90,7 +113,7 @@ func (s *Segmented) Mul(x, y []float64, threads int) {
 	for i := range s.bRow {
 		s.bRow[i] = -1
 	}
-	util.ParallelFor(nt, threads, func(t int) {
+	rt.For(nt, threads, func(t int) {
 		kLo := t * s.tileSize
 		kHi := util.MinInt(kLo+s.tileSize, nnz)
 		row := s.tileRow0[t]

@@ -6,8 +6,6 @@
 package trisolve
 
 import (
-	"sync"
-
 	"javelin/internal/ilu"
 	"javelin/internal/levelset"
 	"javelin/internal/util"
@@ -159,7 +157,9 @@ func (s *CSRLS) SolveUpper(b, x []float64) {
 // parallelLevel runs a level with a fork-join barrier — the cost the
 // baseline pays on every level, however small. Tiny levels are run
 // inline (the barrier would still dominate; this favors the baseline,
-// making Fig. 12's comparison conservative).
+// making Fig. 12's comparison conservative). The fork-join now rides
+// the persistent default runtime (via the util shim), so the barrier
+// overhead measured is the join itself, not goroutine creation.
 func (s *CSRLS) parallelLevel(n int, body func(i int)) {
 	if s.threads == 1 || n < 4 {
 		for i := 0; i < n; i++ {
@@ -167,24 +167,7 @@ func (s *CSRLS) parallelLevel(n int, body func(i int)) {
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	threads := util.MinInt(s.threads, n)
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		if lo >= n {
-			break
-		}
-		hi := util.MinInt(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	util.ParallelFor(n, s.threads, body)
 }
 
 // Residual returns ‖L·x − b‖₂ for diagnostics in tests: verifies a

@@ -2,125 +2,56 @@ package util
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
+
+	"javelin/internal/exec"
 )
 
-// MaxThreads returns the default degree of parallelism used by Javelin
-// when the caller does not specify one.
+// This file is a thin compatibility shim over the persistent
+// execution runtime (internal/exec). The Parallel* helpers used to
+// spawn fresh goroutines and join a full barrier on every call; they
+// now delegate to the lazily created process-wide exec.Default()
+// runtime, so callers that hold no explicit *exec.Runtime still run
+// on persistent workers. Components on a hot path should accept a
+// Runtime instead of calling these.
+
+// MaxThreads returns the default degree of parallelism used by
+// Javelin when the caller does not specify one.
 func MaxThreads() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// ParallelFor runs body(i) for i in [0, n) on up to threads workers,
-// dealing iterations in contiguous blocks. threads <= 1 runs inline.
-//
-// Block dealing (rather than striding) keeps memory touched by a worker
-// contiguous, which matters for the first-touch copy paths.
+// ParallelFor runs body(i) for i in [0, n) with static block dealing
+// on up to threads lanes of the default runtime. threads <= 1 runs
+// inline. Block dealing (rather than striding) keeps memory touched
+// by a lane contiguous, which matters for the first-touch copy paths.
 func ParallelFor(n, threads int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if threads > n {
-		threads = n
-	}
 	if threads <= 1 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
-	var wg sync.WaitGroup
-	chunk := (n + threads - 1) / threads
-	for t := 0; t < threads; t++ {
-		lo := t * chunk
-		if lo >= n {
-			break
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				body(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	exec.Default().For(n, threads, body)
 }
 
 // ParallelForDynamic runs body(i) for i in [0, n) with dynamic
 // (atomic-counter) scheduling in chunks of the given size, mirroring
 // OpenMP's schedule(dynamic, chunk) that the paper uses with chunk=1.
 func ParallelForDynamic(n, threads, chunk int, body func(i int)) {
-	if n <= 0 {
-		return
-	}
-	if chunk < 1 {
-		chunk = 1
-	}
-	if threads > n {
-		threads = n
-	}
 	if threads <= 1 {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
 		return
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(threads)
-	for t := 0; t < threads; t++ {
-		go func() {
-			defer wg.Done()
-			for {
-				lo := int(atomic.AddInt64(&next, int64(chunk))) - chunk
-				if lo >= n {
-					return
-				}
-				hi := lo + chunk
-				if hi > n {
-					hi = n
-				}
-				for i := lo; i < hi; i++ {
-					body(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	exec.Default().ForDynamic(n, threads, chunk, body)
 }
 
 // ParallelRanges splits [0, n) into exactly workers contiguous ranges
-// (some possibly empty) and runs body(worker, lo, hi) on each in its
-// own goroutine. Useful when workers need per-worker scratch state.
+// and runs body(worker, lo, hi) once per NON-EMPTY range (ranges left
+// empty because workers > n are skipped, not delivered). Useful when
+// workers need per-worker scratch state; bodies must not wait on one
+// another.
 func ParallelRanges(n, workers int, body func(worker, lo, hi int)) {
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	if chunk < 1 {
-		chunk = 1
-	}
-	for t := 0; t < workers; t++ {
-		lo := t * chunk
-		if lo > n {
-			lo = n
-		}
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(t, lo, hi int) {
-			defer wg.Done()
-			body(t, lo, hi)
-		}(t, lo, hi)
-	}
-	wg.Wait()
+	exec.Default().Ranges(n, workers, body)
 }

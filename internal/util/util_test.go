@@ -124,6 +124,32 @@ func TestParallelForEmptyAndSmall(t *testing.T) {
 	}
 }
 
+func TestParallelRangesSkipsEmptyRanges(t *testing.T) {
+	// workers > n used to deliver (and spawn goroutines for) empty
+	// ranges; now empty ranges must never reach the body.
+	n, workers := 3, 16
+	var calls, covered atomic.Int32
+	ParallelRanges(n, workers, func(w, lo, hi int) {
+		calls.Add(1)
+		if lo >= hi {
+			t.Errorf("empty range delivered: worker %d [%d,%d)", w, lo, hi)
+		}
+		if w < 0 || w >= workers {
+			t.Errorf("worker index %d out of [0,%d)", w, workers)
+		}
+		covered.Add(int32(hi - lo))
+	})
+	if covered.Load() != int32(n) {
+		t.Fatalf("covered %d of %d", covered.Load(), n)
+	}
+	if calls.Load() > int32(n) {
+		t.Fatalf("%d calls for %d non-empty ranges", calls.Load(), n)
+	}
+	ParallelRanges(0, 4, func(w, lo, hi int) {
+		t.Error("body called for n=0")
+	})
+}
+
 func TestParallelRanges(t *testing.T) {
 	n := 103
 	covered := make([]atomic.Int32, n)
