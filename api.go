@@ -34,6 +34,22 @@ func NewRuntime(threads int) *Runtime { return exec.New(threads) }
 // explicit Runtime run on.
 func DefaultRuntime() *Runtime { return exec.Default() }
 
+// RuntimeStats is a snapshot of a Runtime's activity counters:
+// regions executed, chunk claims, batch steals, gang admissions and
+// admission-queue wait, and worker park/wake churn. Collection is
+// always on and sharded per worker, so snapshots are cheap and safe
+// to poll from monitoring loops; RuntimeStats.Sub subtracts an
+// earlier snapshot for per-phase deltas. Obtain one from
+// Runtime.Stats() or Preconditioner.RuntimeStats(); see doc.go's
+// "Runtime metrics" section.
+type RuntimeStats = exec.Stats
+
+// RuntimeStats returns a snapshot of the activity counters of the
+// runtime this preconditioner schedules on — the private runtime
+// Factorize created, or the shared one passed via Options.Runtime (in
+// which case the counters cover every engine sharing it).
+func (p *Preconditioner) RuntimeStats() RuntimeStats { return p.e.Runtime().Stats() }
+
 // Matrix is an immutable sparse matrix in CSR form.
 type Matrix struct {
 	csr *sparse.CSR

@@ -449,3 +449,54 @@ func TestWarmApplySpawnsNoGoroutines(t *testing.T) {
 		t.Fatalf("goroutines grew %d -> %d across warm applies", before, after)
 	}
 }
+
+// TestRuntimeStatsAPI exercises the public metrics surface: shared
+// runtime counters must be visible through Runtime.Stats and
+// Preconditioner.RuntimeStats, and snapshot deltas must reflect the
+// work in between.
+func TestRuntimeStatsAPI(t *testing.T) {
+	rt := NewRuntime(4)
+	defer rt.Close()
+
+	opt := DefaultOptions()
+	opt.Runtime = rt
+	m := GridLaplacian(40, 40, 1, Star5, 0.1)
+	p, err := Factorize(m, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	after := rt.Stats()
+	if after.Regions == 0 {
+		t.Fatalf("factorization opened no regions: %+v", after)
+	}
+	if got := p.RuntimeStats(); got.Regions < after.Regions {
+		t.Fatalf("engine stats went backwards: %+v < %+v", got, after)
+	}
+
+	// A solve phase must show up as a delta over the snapshot.
+	before := rt.Stats()
+	b := make([]float64, m.N())
+	x := make([]float64, m.N())
+	for i := range b {
+		b[i] = 1
+	}
+	if _, err := SolveCG(m, p, b, x, SolverOptions{Tol: 1e-8, Threads: 4, Runtime: rt}); err != nil {
+		t.Fatal(err)
+	}
+	delta := p.RuntimeStats().Sub(before)
+	if delta.Regions == 0 && delta.Gangs == 0 {
+		t.Fatalf("solve produced no runtime activity: %+v", delta)
+	}
+
+	// A private-runtime engine reports its own counters too.
+	p2, err := Factorize(m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p2.Close()
+	if p2.RuntimeStats() == (RuntimeStats{}) {
+		t.Fatal("private-runtime engine reports empty stats after factorization")
+	}
+}

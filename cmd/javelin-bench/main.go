@@ -6,6 +6,7 @@
 //	javelin-bench -exp all -scale 0.05
 //	javelin-bench -exp fig10 -threads 1,2,4,8 -matrices wang3,scircuit
 //	javelin-bench -json -scale 0.02 -threads 1,2 > BENCH_now.json
+//	javelin-bench -json -stats -scale 0.02 -threads 1,2 -matrices wang3
 //
 // Experiments: table1, table2, table3, table4, fig9, fig10, fig11,
 // fig12, fig13, all. Figures 10 and 11 are the same strong-scaling
@@ -17,6 +18,13 @@
 // refactorization and preconditioner application across the thread
 // sweep — the format the repository's BENCH_*.json perf trajectory
 // files use.
+//
+// -stats runs every engine on one shared execution runtime (sized to
+// the widest thread count in the sweep) and reports its activity
+// counters — regions, chunk claims, steals, gang admissions + queue
+// wait, park/wake churn — after the experiments. In text mode the
+// counters print as a table; combined with -json they are emitted as
+// a "runtime_stats" object alongside the records.
 package main
 
 import (
@@ -28,6 +36,8 @@ import (
 	"strings"
 
 	"javelin/internal/bench"
+	"javelin/internal/exec"
+	"javelin/internal/util"
 )
 
 func main() {
@@ -44,6 +54,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		repeats  = fs.Int("repeats", 3, "timing repetitions (best-of)")
 		matrices = fs.String("matrices", "", "comma-separated Table-I names to include (default all)")
 		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
+		stats    = fs.Bool("stats", false, "run on one shared runtime and report its activity counters")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -68,6 +79,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, tok := range strings.Split(*matrices, ",") {
 			cfg.Matrices = append(cfg.Matrices, strings.TrimSpace(tok))
 		}
+	}
+
+	var rt *exec.Runtime
+	if *stats {
+		// One shared pool for every engine, wide enough for the widest
+		// gang in the sweep, so the counters cover the whole run.
+		width := util.MaxThreads()
+		for _, p := range cfg.WithDefaults().Threads {
+			if p > width {
+				width = p
+			}
+		}
+		rt = exec.New(width)
+		defer rt.Close()
+		cfg.Runtime = rt
+		cfg.Stats = true
 	}
 
 	if *jsonOut {
@@ -105,6 +132,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
+	printStats := func() {
+		if rt != nil {
+			fmt.Fprintf(stdout, "\n== runtime stats (shared pool, %d lanes) ==\n%s\n",
+				rt.Parallelism(), rt.Stats())
+		}
+	}
 	if *exp == "all" {
 		for _, name := range []string{"table1", "table3", "table4", "fig9",
 			"fig10", "fig12", "table2", "fig13"} {
@@ -112,7 +145,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return rc
 			}
 		}
+		printStats()
 		return 0
 	}
-	return runExp(*exp)
+	rc := runExp(*exp)
+	if rc == 0 {
+		printStats()
+	}
+	return rc
 }

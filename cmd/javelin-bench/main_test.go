@@ -45,6 +45,47 @@ func TestRunJSONSmoke(t *testing.T) {
 	}
 }
 
+func TestRunJSONStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-json", "-stats", "-scale", "0.02", "-threads", "1,2",
+		"-repeats", "1", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	var doc struct {
+		Records      []map[string]any `json:"records"`
+		RuntimeStats map[string]any   `json:"runtime_stats"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not the stats JSON object: %v\n%s", err, out.String())
+	}
+	if len(doc.Records) != 4 {
+		t.Fatalf("got %d records, want 4", len(doc.Records))
+	}
+	for _, key := range []string{"regions", "chunks", "gangs", "gang_wait_ns",
+		"steal_attempts", "parks", "spin_to_parks"} {
+		if _, ok := doc.RuntimeStats[key]; !ok {
+			t.Fatalf("runtime_stats missing %q: %v", key, doc.RuntimeStats)
+		}
+	}
+	// The measured run factorizes and applies: regions must have run.
+	if doc.RuntimeStats["regions"].(float64) <= 0 {
+		t.Fatalf("runtime_stats.regions not positive: %v", doc.RuntimeStats)
+	}
+}
+
+func TestRunTableStats(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-exp", "table1", "-stats", "-scale", "0.02",
+		"-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "runtime stats (shared pool") {
+		t.Fatalf("-stats table output missing stats section:\n%s", out.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-exp", "nope"}, &out, &errb); rc != 2 {

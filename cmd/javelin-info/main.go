@@ -7,6 +7,13 @@
 //
 //	javelin-info -table 1 -scale 0.1
 //	javelin-info -table 3 -matrices af_shell3,fem_filter
+//	javelin-info -table 1 -stats
+//
+// -stats appends the process-wide execution runtime's activity
+// counter deltas (regions, chunk claims, steals, gang admissions +
+// queue wait, park/wake churn) for the printed tables — the
+// structural passes (symmetric permutation scatter, level-set
+// computation) run on that shared pool.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"strings"
 
 	"javelin/internal/bench"
+	"javelin/internal/exec"
 )
 
 func main() {
@@ -30,6 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		table    = fs.Int("table", 1, "paper table to print: 1, 3, or 4")
 		scale    = fs.Float64("scale", 0.1, "suite scale factor in (0,1]")
 		matrices = fs.String("matrices", "", "comma-separated Table-I names (default all)")
+		stats    = fs.Bool("stats", false, "append the default runtime's activity counter deltas")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -41,6 +50,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cfg.Matrices = append(cfg.Matrices, strings.TrimSpace(tok))
 		}
 	}
+	// Snapshot only when asked: Default() lazily spawns the
+	// process-wide pool, a side effect plain table runs should skip.
+	var before exec.Stats
+	if *stats {
+		before = exec.Default().Stats()
+	}
 	switch *table {
 	case 1:
 		bench.RunTable1(cfg)
@@ -51,6 +66,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "javelin-info: no such table %d (use 1, 3 or 4)\n", *table)
 		return 2
+	}
+	if *stats {
+		fmt.Fprintf(stdout, "\n== runtime stats (process default pool) ==\n%s\n",
+			exec.Default().Stats().Sub(before))
 	}
 	return 0
 }

@@ -21,6 +21,19 @@ func TestRunTablesSmoke(t *testing.T) {
 	}
 }
 
+func TestRunStatsFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-table", "1", "-scale", "0.02", "-matrices", "wang3", "-stats"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	for _, want := range []string{"runtime stats", "regions", "gang_wait_ns", "spin_to_parks"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-stats output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsUnknownTable(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-table", "2"}, &out, &errb); rc != 2 {

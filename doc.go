@@ -106,6 +106,34 @@
 // flight is a programming error; solves issued after Close still
 // complete, degraded to caller-driven execution.
 //
+// # Runtime metrics
+//
+// Every Runtime meters its own activity through always-on counters:
+// parallel regions executed, chunks claimed off region cursors, batch
+// tasks and steal attempts/successes, gang admissions with total
+// admission-queue wait, and worker park/wake and spin-to-park
+// transitions. Counters are sharded per worker on padded cache lines,
+// so the instrumented hot paths run at full speed; Runtime.Stats()
+// sums the shards into a RuntimeStats snapshot:
+//
+//	rt := javelin.NewRuntime(8)
+//	defer rt.Close()
+//	before := rt.Stats()
+//	...factorize and solve with Options.Runtime = rt...
+//	delta := rt.Stats().Sub(before)   // activity of just this phase
+//	fmt.Println(delta)                // one "name value" line per counter
+//
+// Preconditioner.RuntimeStats() reads the same counters through the
+// engine (covering its private runtime, or the shared one when
+// Options.Runtime was set). The snapshot answers capacity-planning
+// questions for shared pools: GangWaitNs/Gangs is the admission queue
+// pressure that says a pool is too narrow for its concurrent solvers,
+// StealSuccesses/StealAttempts measures how well SR tile batches
+// spread, and high SpinToParks with few Parks means the pool sits at
+// its churn point. The javelin-info and javelin-bench tools print the
+// same counters under a -stats flag (javelin-bench -json -stats emits
+// them as a "runtime_stats" JSON object alongside the bench records).
+//
 // The internal packages hold the substrates (sparse structures, level
 // scheduling, p2p synchronization, the execution runtime, orderings,
 // Krylov solvers, baselines); this package is the supported surface.

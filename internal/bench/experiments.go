@@ -127,7 +127,7 @@ func RunFig9(cfg Config) []Fig9Row {
 		row := Fig9Row{Name: inst.Spec.Name}
 		cells := []string{inst.Spec.Name}
 		for _, p := range cfg.Threads {
-			jt := timeJavelinILU(inst.A, p, core.LowerNone, cfg.Repeats)
+			jt := timeJavelinILU(cfg, inst.A, p, core.LowerNone)
 			bopt := baseline.DefaultSupernodalOptions()
 			bopt.Threads = p
 			var bt time.Duration
@@ -157,16 +157,13 @@ func RunFig9(cfg Config) []Fig9Row {
 
 // timeJavelinILU times the numeric factorization (Refactorize), which
 // is what the paper measures, excluding symbolic setup.
-func timeJavelinILU(a *sparse.CSR, threads int, lower core.LowerMethod, repeats int) time.Duration {
-	opt := core.DefaultOptions()
-	opt.Threads = threads
-	opt.Lower = lower
-	e, err := core.Factorize(a, opt)
+func timeJavelinILU(cfg Config, a *sparse.CSR, threads int, lower core.LowerMethod) time.Duration {
+	e, err := core.Factorize(a, cfg.EngineOptions(threads, lower))
 	if err != nil {
 		return 0
 	}
 	defer e.Close()
-	return TimeBest(repeats, func() {
+	return TimeBest(cfg.Repeats, func() {
 		if err := e.Refactorize(a); err != nil {
 			panic(err)
 		}
@@ -198,7 +195,7 @@ func RunScaling(cfg Config, title string) [][]SpeedupRow {
 	type base struct{ t time.Duration }
 	bases := make([]base, len(suite))
 	for i, inst := range suite {
-		bases[i] = base{timeJavelinILU(inst.A, 1, core.LowerNone, cfg.Repeats)}
+		bases[i] = base{timeJavelinILU(cfg, inst.A, 1, core.LowerNone)}
 	}
 	for pi, p := range cfg.Threads {
 		t := &Table{
@@ -207,8 +204,8 @@ func RunScaling(cfg Config, title string) [][]SpeedupRow {
 		}
 		var speeds []float64
 		for i, inst := range suite {
-			ls := timeJavelinILU(inst.A, p, core.LowerNone, cfg.Repeats)
-			lsl, method := timeJavelinAuto(inst.A, p, cfg.Repeats)
+			ls := timeJavelinILU(cfg, inst.A, p, core.LowerNone)
+			lsl, method := timeJavelinAuto(cfg, inst.A, p)
 			r := SpeedupRow{
 				Name:    inst.Spec.Name,
 				LS:      ratio(bases[i].t, ls),
@@ -229,15 +226,13 @@ func RunScaling(cfg Config, title string) [][]SpeedupRow {
 	return out
 }
 
-func timeJavelinAuto(a *sparse.CSR, threads, repeats int) (time.Duration, string) {
-	opt := core.DefaultOptions()
-	opt.Threads = threads
-	e, err := core.Factorize(a, opt)
+func timeJavelinAuto(cfg Config, a *sparse.CSR, threads int) (time.Duration, string) {
+	e, err := core.Factorize(a, cfg.EngineOptions(threads, core.LowerAuto))
 	if err != nil {
 		return 0, "err"
 	}
 	defer e.Close()
-	d := TimeBest(repeats, func() {
+	d := TimeBest(cfg.Repeats, func() {
 		if err := e.Refactorize(a); err != nil {
 			panic(err)
 		}
@@ -285,16 +280,11 @@ func RunFig12(cfg Config) []Fig12Row {
 
 		// Factor once with LS-only (its permuted factor feeds the
 		// CSR-LS baseline so all methods solve the same system).
-		optLS := core.DefaultOptions()
-		optLS.Threads = util.MaxThreads()
-		optLS.Lower = core.LowerNone
-		eLS, err := core.Factorize(a, optLS)
+		eLS, err := core.Factorize(a, cfg.EngineOptions(util.MaxThreads(), core.LowerNone))
 		if err != nil {
 			continue
 		}
-		optFull := core.DefaultOptions()
-		optFull.Threads = util.MaxThreads()
-		eFull, err := core.Factorize(a, optFull)
+		eFull, err := core.Factorize(a, cfg.EngineOptions(util.MaxThreads(), core.LowerAuto))
 		if err != nil {
 			eLS.Close()
 			continue
@@ -318,11 +308,11 @@ func RunFig12(cfg Config) []Fig12Row {
 				bestCSRLS = d
 			}
 			// Engines are built per thread count for the p2p plans.
-			dLS := timeEngineSolve(a, p, core.LowerNone, b, cfg.Repeats)
+			dLS := timeEngineSolve(cfg, a, p, core.LowerNone, b)
 			if dLS > 0 && dLS < bestLS {
 				bestLS = dLS
 			}
-			dFull := timeEngineSolve(a, p, core.LowerAuto, b, cfg.Repeats)
+			dFull := timeEngineSolve(cfg, a, p, core.LowerAuto, b)
 			if dFull > 0 && dFull < bestFull {
 				bestFull = dFull
 			}
@@ -342,17 +332,14 @@ func RunFig12(cfg Config) []Fig12Row {
 	return rows
 }
 
-func timeEngineSolve(a *sparse.CSR, threads int, lower core.LowerMethod, b []float64, repeats int) time.Duration {
-	opt := core.DefaultOptions()
-	opt.Threads = threads
-	opt.Lower = lower
-	e, err := core.Factorize(a, opt)
+func timeEngineSolve(cfg Config, a *sparse.CSR, threads int, lower core.LowerMethod, b []float64) time.Duration {
+	e, err := core.Factorize(a, cfg.EngineOptions(threads, lower))
 	if err != nil {
 		return 0
 	}
 	defer e.Close()
 	x := make([]float64, a.N)
-	return TimeBest(repeats, func() {
+	return TimeBest(cfg.Repeats, func() {
 		e.SolveLower(b, x)
 		e.SolveUpper(x, x)
 	})
@@ -384,7 +371,7 @@ func RunTable2(cfg Config) []Table2Row {
 		row := Table2Row{Name: inst.Spec.Name, Iters: map[string]int{}}
 		cells := []string{inst.Spec.Name}
 		for _, ord := range Table2Orderings {
-			iters := iterationCount(inst.Raw, ord)
+			iters := iterationCount(cfg, inst.Raw, ord)
 			row.Iters[ord] = iters
 			if iters < 0 {
 				cells = append(cells, "fail")
@@ -403,7 +390,7 @@ func RunTable2(cfg Config) []Table2Row {
 // orderings use the serial reference factorization (no level-set
 // reordering); LS-X composes Javelin's level-set permutation on top
 // of X, exactly as the engine does internally.
-func iterationCount(raw *sparse.CSR, ord string) int {
+func iterationCount(cfg Config, raw *sparse.CSR, ord string) int {
 	var a *sparse.CSR
 	switch ord {
 	case "AMD":
@@ -425,9 +412,7 @@ func iterationCount(raw *sparse.CSR, ord string) int {
 	opt := krylov.Options{Tol: 1e-6, MaxIter: 20000}
 
 	if ord == "LS-RCM" || ord == "LS-ND" {
-		copt := core.DefaultOptions()
-		copt.Threads = util.MaxThreads()
-		e, err := core.Factorize(a, copt)
+		e, err := core.Factorize(a, cfg.EngineOptions(util.MaxThreads(), core.LowerAuto))
 		if err != nil {
 			return -1
 		}
@@ -489,8 +474,8 @@ func RunFig13(cfg Config) []Fig13Row {
 	for _, inst := range BuildSuite(cfg, "A", false) {
 		nd := PreorderWith(inst.Raw, order.ND)
 		rcm := PreorderWith(inst.Raw, order.RCM)
-		base := timeJavelinILU(nd, 1, core.LowerNone, cfg.Repeats)
-		par := timeJavelinILU(rcm, p, core.LowerNone, cfg.Repeats)
+		base := timeJavelinILU(cfg, nd, 1, core.LowerNone)
+		par := timeJavelinILU(cfg, rcm, p, core.LowerNone)
 		row := Fig13Row{Name: inst.Spec.Name, Speedup: ratio(base, par)}
 		rows = append(rows, row)
 		t.AddRow(row.Name, F(row.Speedup))

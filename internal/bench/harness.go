@@ -11,6 +11,8 @@ import (
 	"io"
 	"time"
 
+	"javelin/internal/core"
+	"javelin/internal/exec"
 	"javelin/internal/gen"
 	"javelin/internal/order"
 	"javelin/internal/sparse"
@@ -32,6 +34,29 @@ type Config struct {
 	Out io.Writer
 	// Matrices filters the suite by name; empty means all.
 	Matrices []string
+	// Runtime, when non-nil, is a shared execution runtime every
+	// engine the harness builds schedules on (instead of per-engine
+	// private pools). Size it to at least the widest thread count in
+	// the sweep, or gangs degrade to the spawn fallback. The caller
+	// owns and closes it. Runtime.Stats() then aggregates the whole
+	// run's scheduler activity — the counters behind the tools'
+	// -stats flag.
+	Runtime *exec.Runtime
+	// Stats adds the shared runtime's counter snapshot to
+	// machine-readable output (RunJSON emits a "runtime_stats" object
+	// alongside the records). Requires Runtime to be set.
+	Stats bool
+}
+
+// EngineOptions returns the paper-default engine configuration at the
+// given thread count and lower method, scheduled on cfg.Runtime when
+// one is set.
+func (c Config) EngineOptions(threads int, lower core.LowerMethod) core.Options {
+	opt := core.DefaultOptions()
+	opt.Threads = threads
+	opt.Lower = lower
+	opt.Runtime = c.Runtime
+	return opt
 }
 
 // WithDefaults fills unset fields.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"javelin/internal/core"
+	"javelin/internal/exec"
 	"javelin/internal/util"
 )
 
@@ -24,15 +25,31 @@ type Record struct {
 // RunJSON measures numeric refactorization and preconditioner
 // application for every selected suite matrix across the thread
 // sweep, and writes the records to cfg.Out as a JSON array (the
-// format behind javelin-bench -json).
+// format behind javelin-bench -json, and of the committed BENCH_*.json
+// perf-trajectory files).
+//
+// With cfg.Stats and cfg.Runtime set, the output is instead an object
+// {"records": [...], "runtime_stats": {...}} where runtime_stats is
+// the shared runtime's counter delta over the measured run (the
+// javelin-bench -json -stats format).
 func RunJSON(cfg Config) error {
 	cfg = cfg.WithDefaults()
+	var before exec.Stats
+	if cfg.Stats && cfg.Runtime != nil {
+		before = cfg.Runtime.Stats()
+	}
 	recs, err := CollectRecords(cfg)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(cfg.Out)
 	enc.SetIndent("", "  ")
+	if cfg.Stats && cfg.Runtime != nil {
+		return enc.Encode(struct {
+			Records      []Record   `json:"records"`
+			RuntimeStats exec.Stats `json:"runtime_stats"`
+		}{recs, cfg.Runtime.Stats().Sub(before)})
+	}
 	return enc.Encode(recs)
 }
 
@@ -44,9 +61,7 @@ func CollectRecords(cfg Config) ([]Record, error) {
 	for _, inst := range BuildSuite(cfg, "", true) {
 		a := inst.A
 		for _, threads := range cfg.Threads {
-			opt := core.DefaultOptions()
-			opt.Threads = threads
-			e, err := core.Factorize(a, opt)
+			e, err := core.Factorize(a, cfg.EngineOptions(threads, core.LowerAuto))
 			if err != nil {
 				return nil, fmt.Errorf("bench: %s @%dT: %w", inst.Spec.Name, threads, err)
 			}

@@ -31,12 +31,20 @@
 // deadlocked. Loop/batch bodies must not
 // wait on other iterations of the same region; bodies that
 // synchronize with each other belong in Gang.
+//
+// # Metrics
+//
+// Every Runtime meters its own activity — regions, chunk claims,
+// steals, gang admissions and queue wait, park/wake churn — through
+// always-on per-worker counter shards; Stats() aggregates them into a
+// snapshot and Stats.Sub gives per-phase deltas. See stats.go.
 package exec
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Runtime is a persistent worker pool. Create with New, share freely,
@@ -53,9 +61,25 @@ type Runtime struct {
 	sleeping  int        // parked workers
 	closed    bool
 
+	// Park-path counters, guarded by mu and incremented only where it
+	// is already held. The spin-to-park transition is timing-bistable
+	// on saturated machines — whether a worker parks or catches the
+	// next region depends on tens of nanoseconds — and even a single
+	// uncontended atomic RMW there measurably tips it; plain
+	// increments under the already-taken lock are free.
+	pkSpinToParks uint64
+	pkStealFails  uint64
+	pkParks       uint64
+	pkWakes       uint64
+
 	deques []deque      // batch task deques (one per worker, min one)
 	nextQ  atomic.Int64 // round-robin cursor for batch submits
 	wg     sync.WaitGroup
+
+	// stats holds one padded counter shard per worker plus a final
+	// shard shared by external callers; Stats() sums them. See
+	// stats.go.
+	stats []laneStats
 
 	jobPool sync.Pool
 }
@@ -77,6 +101,7 @@ func New(parallelism int) *Runtime {
 		nd = 1
 	}
 	r.deques = make([]deque, nd)
+	r.stats = make([]laneStats, r.workers+1)
 	r.jobPool.New = func() any {
 		j := new(job)
 		j.cond = sync.NewCond(&j.mu)
@@ -200,6 +225,7 @@ func (r *Runtime) loop(n, maxPar, chunk int, body func(i int)) {
 	if n <= 0 {
 		return
 	}
+	r.lane(-1).regions.Add(1)
 	par := r.workers + 1
 	if maxPar > 0 && maxPar < par {
 		par = maxPar
@@ -211,6 +237,7 @@ func (r *Runtime) loop(n, maxPar, chunk int, body func(i int)) {
 		for i := 0; i < n; i++ {
 			body(i)
 		}
+		r.lane(-1).chunks.Add(1)
 		return
 	}
 	if chunk <= 0 { // static: one block per participant
@@ -236,6 +263,9 @@ func (r *Runtime) Ranges(n, pieces int, body func(piece, lo, hi int)) {
 	if n < 0 {
 		n = 0
 	}
+	if n > 0 {
+		r.lane(-1).regions.Add(1)
+	}
 	chunk := (n + pieces - 1) / pieces
 	if chunk < 1 {
 		chunk = 1
@@ -257,6 +287,7 @@ func (r *Runtime) Ranges(n, pieces int, body func(piece, lo, hi int)) {
 			if !run(p) {
 				break
 			}
+			r.lane(-1).chunks.Add(1)
 		}
 		return
 	}
@@ -299,13 +330,28 @@ func (r *Runtime) runJob(j *job) {
 	}
 	r.mu.Unlock()
 	j.awaitDone()
+	// Every block was claimed and executed exactly once, so the
+	// region's whole block count is charged here rather than on the
+	// claim path (see runClaims). Ranges regions with pieces > n have
+	// trailing empty pieces that never ran a body; exclude them so
+	// Chunks matches the inline path.
+	charged := j.blocks
+	if j.rangeBody != nil {
+		if ne := int64((j.n + j.chunk - 1) / j.chunk); ne < charged {
+			charged = ne
+		}
+	}
+	r.lane(-1).chunks.Add(uint64(charged))
 	j.body, j.rangeBody = nil, nil
 	r.jobPool.Put(j)
 }
 
 // runClaims executes blocks off j's cursor until none remain. The
 // participant must already be counted in j.active; it uncounts itself
-// on the way out (its last touch of j).
+// on the way out (its last touch of j). Deliberately uninstrumented:
+// any counter kept live across the body call would be spilled and
+// reloaded around every iteration (Go's ABI has no callee-saved
+// registers); runJob charges the region's whole block count instead.
 func (j *job) runClaims() {
 	n, chunk := j.n, j.chunk
 	for {
@@ -425,8 +471,15 @@ func (r *Runtime) Gang(pieces int, body func(piece int)) {
 	g.remaining.Store(int64(pieces))
 
 	r.mu.Lock()
-	for r.workers-r.committed < need && !r.closed {
-		r.gangCond.Wait()
+	if r.workers-r.committed < need && !r.closed {
+		// Admission must wait for capacity; meter the queue time (the
+		// clock is only read on this contended path, never when the
+		// gang is admitted immediately).
+		t0 := time.Now()
+		for r.workers-r.committed < need && !r.closed {
+			r.gangCond.Wait()
+		}
+		r.lane(-1).gangWaitNs.Add(uint64(time.Since(t0)))
 	}
 	if r.closed {
 		r.mu.Unlock()
@@ -434,6 +487,7 @@ func (r *Runtime) Gang(pieces int, body func(piece int)) {
 		return
 	}
 	r.committed += need
+	r.lane(-1).gangs.Add(1)
 	for p := 1; p < pieces; p++ {
 		r.gangQ.push(gangPiece{g: g, piece: p})
 	}
@@ -461,6 +515,7 @@ func (r *Runtime) Gang(pieces int, body func(piece int)) {
 // spawnGang is the goroutine-per-piece fallback for gangs wider than
 // the runtime (or after Close).
 func (r *Runtime) spawnGang(pieces int, body func(piece int)) {
+	r.lane(-1).gangs.Add(1)
 	var wg sync.WaitGroup
 	wg.Add(pieces - 1)
 	for p := 1; p < pieces; p++ {
@@ -537,25 +592,40 @@ func (b *Batch) Submit(fn func()) {
 // waiting. Do not call Wait from inside a task.
 func (b *Batch) Wait() {
 	r := b.r
+	ls := r.lane(-1)
+	// Failed steal scans are batched in a local and flushed at the
+	// exit points, as in workerLoop: an atomic RMW per spin iteration
+	// on the shared external shard would ping-pong its cache line
+	// between concurrent waiters.
+	failed := uint64(0)
 	for spins := 0; b.pending.Load() > 0; spins++ {
 		if t, ok := r.stealTask(-1); ok {
+			// Success-path counting is amortized by the task body.
+			ls.stealAttempts.Add(1)
+			ls.stealSuccesses.Add(1)
 			t.fn()
 			t.b.taskDone()
+			ls.tasks.Add(1)
 			spins = 0
 			continue
 		}
+		failed++
 		if spins < 64 {
 			runtime.Gosched()
 			continue
 		}
 		// Nothing left to help with: the remaining tasks are in flight
 		// on workers. Park rather than burn a lane spinning.
+		ls.stealAttempts.Add(failed)
 		b.mu.Lock()
 		for b.pending.Load() > 0 {
 			b.cond.Wait()
 		}
 		b.mu.Unlock()
 		return
+	}
+	if failed > 0 {
+		ls.stealAttempts.Add(failed)
 	}
 }
 
@@ -584,6 +654,7 @@ func (r *Runtime) stealTask(self int) (task, bool) {
 // Priority: gang pieces (they gate whole sweeps and hold reserved
 // capacity), then open loop regions, then batch tasks.
 func (r *Runtime) step(w int) bool {
+	ls := r.lane(w)
 	r.mu.Lock()
 	if gp, ok := r.gangQ.pop(); ok {
 		r.mu.Unlock()
@@ -607,11 +678,18 @@ func (r *Runtime) step(w int) bool {
 	if t, ok := r.deques[w].pop(); ok {
 		t.fn()
 		t.b.taskDone()
+		ls.tasks.Add(1)
 		return true
 	}
 	if t, ok := r.stealTask(w); ok {
+		// Successful steals are rare enough to count inline; failed
+		// attempts happen on every idle spin, so workerLoop batches
+		// them (a failed step implies exactly one failed steal scan).
+		ls.stealAttempts.Add(1)
+		ls.stealSuccesses.Add(1)
 		t.fn()
 		t.b.taskDone()
+		ls.tasks.Add(1)
 		return true
 	}
 	return false
@@ -638,26 +716,40 @@ func (r *Runtime) hasWorkLocked() bool {
 func (r *Runtime) workerLoop(w int) {
 	defer r.wg.Done()
 	spins := 0
+	// Failed steal scans are batched in a plain local and flushed on
+	// spin-budget exhaustion: one atomic add per failed step would
+	// make the idle spin loop measurably more expensive, which on a
+	// saturated machine is CPU taken from lanes doing real work. The
+	// shard therefore lags by at most the spin budget per worker.
+	failedSteals := uint64(0)
 	for {
 		if r.step(w) {
 			spins = 0
 			continue
 		}
+		failedSteals++
 		spins++
 		if spins < 128 {
 			runtime.Gosched()
 			continue
 		}
 		// Spin budget exhausted: park until new work arrives (or exit
-		// if the runtime closed and nothing is pending).
+		// if the runtime closed and nothing is pending). The park-path
+		// counters are plain fields bumped under the lock we already
+		// hold (see their declaration for why not atomics).
 		r.mu.Lock()
+		r.pkSpinToParks++
+		r.pkStealFails += failedSteals
+		failedSteals = 0
 		if r.closed && !r.hasWorkLocked() {
 			r.mu.Unlock()
 			return
 		}
 		if !r.hasWorkLocked() && !r.closed {
 			r.sleeping++
+			r.pkParks++
 			r.cond.Wait()
+			r.pkWakes++
 			r.sleeping--
 		}
 		r.mu.Unlock()

@@ -1,0 +1,259 @@
+package exec
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+	"unsafe"
+)
+
+func TestStatsCountsRegionsAndChunks(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	s0 := r.Stats()
+
+	const regions = 10
+	n := 1000
+	for i := 0; i < regions; i++ {
+		r.For(n, 4, func(int) {})
+	}
+	d := r.Stats().Sub(s0)
+	if d.Regions != regions {
+		t.Fatalf("Regions = %d, want %d", d.Regions, regions)
+	}
+	// Static dealing cuts each region into at most 4 blocks, and every
+	// block is claimed exactly once.
+	if d.Chunks < regions || d.Chunks > regions*4 {
+		t.Fatalf("Chunks = %d, want in [%d, %d]", d.Chunks, regions, regions*4)
+	}
+}
+
+func TestStatsCountsInlineRegions(t *testing.T) {
+	r := New(1) // no workers: every region runs inline
+	defer r.Close()
+	s0 := r.Stats()
+	r.For(100, 8, func(int) {})
+	r.ForDynamic(100, 8, 16, func(int) {})
+	r.Ranges(100, 4, func(int, int, int) {})
+	r.For(0, 8, func(int) {}) // empty: not a region
+	d := r.Stats().Sub(s0)
+	if d.Regions != 3 {
+		t.Fatalf("Regions = %d, want 3", d.Regions)
+	}
+	if d.Chunks == 0 {
+		t.Fatalf("Chunks = 0, want > 0")
+	}
+}
+
+func TestStatsCountsDynamicChunks(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	s0 := r.Stats()
+	// 1000 iterations in chunks of 10 → exactly 100 blocks claimed.
+	r.ForDynamic(1000, 4, 10, func(int) {})
+	d := r.Stats().Sub(s0)
+	if d.Chunks != 100 {
+		t.Fatalf("Chunks = %d, want 100", d.Chunks)
+	}
+}
+
+func TestStatsRangesSkipsEmptyPiecesInChunks(t *testing.T) {
+	// pieces > n leaves trailing empty pieces that never run a body;
+	// Chunks must count only executed pieces, and identically on the
+	// parallel (workers > 0) and inline (workers == 0) paths.
+	for _, par := range []int{4, 1} {
+		r := New(par)
+		s0 := r.Stats()
+		r.Ranges(3, 8, func(piece, lo, hi int) {})
+		d := r.Stats().Sub(s0)
+		r.Close()
+		if d.Chunks != 3 {
+			t.Fatalf("parallelism=%d: Chunks = %d, want 3 (empty pieces must not count)", par, d.Chunks)
+		}
+		if d.Regions != 1 {
+			t.Fatalf("parallelism=%d: Regions = %d, want 1", par, d.Regions)
+		}
+	}
+}
+
+func TestStatsCountsTasks(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	s0 := r.Stats()
+	b := r.NewBatch()
+	const tasks = 64
+	for i := 0; i < tasks; i++ {
+		b.Submit(func() {})
+	}
+	b.Wait()
+	d := r.Stats().Sub(s0)
+	if d.Tasks != tasks {
+		t.Fatalf("Tasks = %d, want %d", d.Tasks, tasks)
+	}
+	if d.StealSuccesses > d.StealAttempts {
+		t.Fatalf("StealSuccesses %d > StealAttempts %d", d.StealSuccesses, d.StealAttempts)
+	}
+}
+
+func TestStatsCountsGangsAndAdmissionWait(t *testing.T) {
+	r := New(3) // 2 workers: two 3-piece gangs cannot overlap
+	defer r.Close()
+	s0 := r.Stats()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var spin [3]int // per-call scratch; pieces own distinct slots
+			r.Gang(3, func(piece int) {
+				// Busy the gang long enough that admissions collide.
+				for i := 0; i < 10000; i++ {
+					spin[piece]++
+				}
+			})
+		}()
+	}
+	wg.Wait()
+	d := r.Stats().Sub(s0)
+	if d.Gangs != 4 {
+		t.Fatalf("Gangs = %d, want 4", d.Gangs)
+	}
+}
+
+func TestStatsMetersGangAdmissionWait(t *testing.T) {
+	r := New(3) // 2 workers: one 3-piece gang fills the pool
+	defer r.Close()
+	// Gang A occupies all capacity until released; gang B must queue
+	// for admission, and the queue time must land in GangWaitNs.
+	// Retry in case B's goroutine is slow to reach admission.
+	for attempt := 0; attempt < 5; attempt++ {
+		s0 := r.Stats()
+		release := make(chan struct{})
+		started := make(chan struct{}, 3)
+		aDone := make(chan struct{})
+		go func() {
+			r.Gang(3, func(int) {
+				started <- struct{}{}
+				<-release
+			})
+			close(aDone)
+		}()
+		for i := 0; i < 3; i++ {
+			<-started // A holds all workers committed
+		}
+		bEntered := make(chan struct{})
+		bDone := make(chan struct{})
+		go func() {
+			close(bEntered)
+			r.Gang(3, func(int) {})
+			close(bDone)
+		}()
+		<-bEntered
+		time.Sleep(30 * time.Millisecond) // let B reach the admission queue
+		close(release)
+		<-aDone
+		<-bDone
+		d := r.Stats().Sub(s0)
+		if d.GangWaitNs > 0 {
+			return // metered: B's queue time was recorded
+		}
+	}
+	t.Fatal("GangWaitNs stayed 0 across 5 forced admission waits")
+}
+
+func TestStatsCountsSpawnFallbackGangs(t *testing.T) {
+	r := New(2) // 1 worker: a 4-piece gang exceeds capacity
+	defer r.Close()
+	s0 := r.Stats()
+	r.Gang(4, func(int) {})
+	d := r.Stats().Sub(s0)
+	if d.Gangs != 1 {
+		t.Fatalf("Gangs = %d, want 1 (spawn fallback must count)", d.Gangs)
+	}
+}
+
+func TestStatsParkWakeChurn(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	// Let the workers go idle, then wake them with a region; repeat.
+	// Parks/Wakes are timing-dependent, so require only that counters
+	// stay consistent and eventually move.
+	for i := 0; i < 20; i++ {
+		r.For(64, 4, func(int) {})
+	}
+	s := r.Stats()
+	if s.Wakes > 0 && s.Parks == 0 {
+		t.Fatalf("Wakes %d with Parks 0", s.Wakes)
+	}
+	if s.Parks > 0 && s.SpinToParks == 0 {
+		t.Fatalf("Parks %d with SpinToParks 0", s.Parks)
+	}
+}
+
+func TestStatsDeltaAndConcurrentSnapshots(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // hammer snapshots while regions run (race check)
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = r.Stats()
+			}
+		}
+	}()
+	s0 := r.Stats()
+	for i := 0; i < 50; i++ {
+		r.For(1000, 4, func(int) {})
+	}
+	close(stop)
+	wg.Wait()
+	d := r.Stats().Sub(s0)
+	if d.Regions != 50 {
+		t.Fatalf("delta Regions = %d, want 50", d.Regions)
+	}
+	if got := d.Sub(d); got != (Stats{}) {
+		t.Fatalf("d.Sub(d) = %+v, want zero", got)
+	}
+}
+
+func TestStatsStringListsEveryCounter(t *testing.T) {
+	s := Stats{Regions: 1, Chunks: 2, Tasks: 3, StealAttempts: 4,
+		StealSuccesses: 5, Gangs: 6, GangWaitNs: 7, Parks: 8, Wakes: 9,
+		SpinToParks: 10}
+	out := s.String()
+	for _, want := range []string{"regions", "chunks", "tasks",
+		"steal_attempts", "steal_successes", "gangs", "gang_wait_ns",
+		"parks", "wakes", "spin_to_parks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLaneStatsPaddedToCacheLines(t *testing.T) {
+	if sz := unsafe.Sizeof(laneStats{}); sz%64 != 0 {
+		t.Fatalf("laneStats size %d is not a multiple of the cache line", sz)
+	}
+}
+
+func TestStatsNarrowRuntimeLanes(t *testing.T) {
+	// New(1) has zero workers; the single shard doubles as the
+	// external lane and lane() must never index out of range.
+	r := New(1)
+	defer r.Close()
+	r.For(10, 4, func(int) {})
+	if got := r.Stats().Regions; got != 1 {
+		t.Fatalf("Regions = %d, want 1", got)
+	}
+	if r.lane(0) != r.lane(-1) {
+		t.Fatalf("worker lane 0 of a workerless runtime must alias the external shard")
+	}
+}

@@ -22,7 +22,9 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		return Stats{}, errors.New("krylov: dimension mismatch")
 	}
 	opt = opt.withDefaults(n)
-	vs := opt.workspace().vectors(n, 8)
+	ws := opt.workspace()
+	rd := opt.reducer(ws)
+	vs := ws.vectors(n, 8)
 	r, rhat, p, v, s, t, phat, shat := vs[0], vs[1], vs[2], vs[3], vs[4], vs[5], vs[6], vs[7]
 
 	opt.matVec(a, x, v)
@@ -34,7 +36,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		p[i] = 0
 		v[i] = 0
 	}
-	bnorm := util.Norm2(b)
+	bnorm := rd.Norm2(b)
 	if bnorm == 0 {
 		bnorm = 1
 	}
@@ -42,13 +44,13 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 
 	st := Stats{}
 	for st.Iterations = 0; st.Iterations < opt.MaxIter; st.Iterations++ {
-		res := util.Norm2(r)
+		res := rd.Norm2(r)
 		st.RelResidual = res / bnorm
 		if st.RelResidual <= opt.Tol {
 			st.Converged = true
 			return st, nil
 		}
-		rhoNew := util.Dot(rhat, r)
+		rhoNew := rd.Dot(rhat, r)
 		if rhoNew == 0 || math.IsNaN(rhoNew) {
 			return st, errors.New("krylov: BiCGSTAB breakdown (ρ = 0)")
 		}
@@ -59,7 +61,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		}
 		m.Apply(p, phat)
 		opt.matVec(a, phat, v)
-		rv := util.Dot(rhat, v)
+		rv := rd.Dot(rhat, v)
 		if rv == 0 || math.IsNaN(rv) {
 			return st, errors.New("krylov: BiCGSTAB breakdown (r̂ᵀv = 0)")
 		}
@@ -67,7 +69,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		for i := range s {
 			s[i] = r[i] - alpha*v[i]
 		}
-		if sn := util.Norm2(s); sn/bnorm <= opt.Tol {
+		if sn := rd.Norm2(s); sn/bnorm <= opt.Tol {
 			// First half-step already converged.
 			util.Axpy(alpha, phat, x)
 			copy(r, s)
@@ -78,11 +80,11 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		}
 		m.Apply(s, shat)
 		opt.matVec(a, shat, t)
-		tt := util.Dot(t, t)
+		tt := rd.Dot(t, t)
 		if tt == 0 || math.IsNaN(tt) {
 			return st, errors.New("krylov: BiCGSTAB breakdown (tᵀt = 0)")
 		}
-		omega = util.Dot(t, s) / tt
+		omega = rd.Dot(t, s) / tt
 		if omega == 0 {
 			return st, errors.New("krylov: BiCGSTAB stagnation (ω = 0)")
 		}
@@ -93,6 +95,6 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 			r[i] = s[i] - omega*t[i]
 		}
 	}
-	st.RelResidual = util.Norm2(r) / bnorm
+	st.RelResidual = rd.Norm2(r) / bnorm
 	return st, nil
 }

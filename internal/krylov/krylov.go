@@ -43,8 +43,10 @@ type Stats struct {
 // Runtime (nil means the process-wide default runtime) — the
 // SpMV-bound half of every Krylov iteration, which on a warm runtime
 // costs block claims rather than goroutine spawns. Threads <= 1 keeps
-// the serial kernel. Vector reductions stay serial either way so the
-// summation order (and hence convergence trajectory) is deterministic.
+// the serial kernel. Vector reductions (Dot, Norm2) use deterministic
+// blocked summation at every thread count — fixed block size, ordered
+// combine (see reduce.go) — so the convergence trajectory is
+// bit-identical whether a solve runs on 1 thread or many.
 type Options struct {
 	Tol     float64
 	MaxIter int
@@ -96,31 +98,33 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 		return Stats{}, errors.New("krylov: dimension mismatch")
 	}
 	opt = opt.withDefaults(n)
-	vs := opt.workspace().vectors(n, 4)
+	ws := opt.workspace()
+	rd := opt.reducer(ws)
+	vs := ws.vectors(n, 4)
 	r, z, p, ap := vs[0], vs[1], vs[2], vs[3]
 
 	opt.matVec(a, x, ap)
 	for i := range r {
 		r[i] = b[i] - ap[i]
 	}
-	bnorm := util.Norm2(b)
+	bnorm := rd.Norm2(b)
 	if bnorm == 0 {
 		bnorm = 1
 	}
 	m.Apply(r, z)
 	copy(p, z)
-	rz := util.Dot(r, z)
+	rz := rd.Dot(r, z)
 
 	st := Stats{}
 	for st.Iterations = 0; st.Iterations < opt.MaxIter; st.Iterations++ {
-		res := util.Norm2(r)
+		res := rd.Norm2(r)
 		st.RelResidual = res / bnorm
 		if st.RelResidual <= opt.Tol {
 			st.Converged = true
 			return st, nil
 		}
 		opt.matVec(a, p, ap)
-		pap := util.Dot(p, ap)
+		pap := rd.Dot(p, ap)
 		if pap == 0 || math.IsNaN(pap) {
 			return st, errors.New("krylov: CG breakdown (pᵀAp = 0); matrix may not be SPD")
 		}
@@ -128,14 +132,14 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 		util.Axpy(alpha, p, x)
 		util.Axpy(-alpha, ap, r)
 		m.Apply(r, z)
-		rzNew := util.Dot(r, z)
+		rzNew := rd.Dot(r, z)
 		beta := rzNew / rz
 		rz = rzNew
 		for i := range p {
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	st.RelResidual = util.Norm2(r) / bnorm
+	st.RelResidual = rd.Norm2(r) / bnorm
 	return st, nil
 }
 
@@ -151,11 +155,12 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 	// Krylov basis and Hessenberg (restart+1 columns), plus the
 	// small-system solution y, all from the workspace.
 	ws := opt.workspace()
+	rd := opt.reducer(ws)
 	v, h, cs, sn, g, y := ws.gmres(n, restart)
 	vs := ws.vectors(n, 2)
 	w, t := vs[0], vs[1]
 
-	bnorm := util.Norm2(b)
+	bnorm := rd.Norm2(b)
 	if bnorm == 0 {
 		bnorm = 1
 	}
@@ -166,7 +171,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 		for i := range w {
 			w[i] = b[i] - t[i]
 		}
-		return util.Norm2(w) / bnorm
+		return rd.Norm2(w) / bnorm
 	}
 
 	for st.Iterations < opt.MaxIter {
@@ -176,7 +181,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 			w[i] = b[i] - t[i]
 		}
 		m.Apply(w, v[0])
-		beta := util.Norm2(v[0])
+		beta := rd.Norm2(v[0])
 		if beta == 0 {
 			st.Converged = true
 			st.RelResidual = trueResidual()
@@ -198,10 +203,10 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 			opt.matVec(a, v[j], t)
 			m.Apply(t, w)
 			for i := 0; i <= j; i++ {
-				h[i][j] = util.Dot(w, v[i])
+				h[i][j] = rd.Dot(w, v[i])
 				util.Axpy(-h[i][j], v[i], w)
 			}
-			h[j+1][j] = util.Norm2(w)
+			h[j+1][j] = rd.Norm2(w)
 			if h[j+1][j] != 0 {
 				inv := 1 / h[j+1][j]
 				for i := range w {

@@ -1,0 +1,135 @@
+package krylov
+
+import (
+	"math"
+	"testing"
+
+	"javelin/internal/exec"
+	"javelin/internal/gen"
+	"javelin/internal/util"
+)
+
+// TestReductionsBitIdenticalAcrossThreads is the determinism
+// contract: blocked Dot/Norm2 must return bit-identical results at 1,
+// 2, and 8 threads, for sizes spanning the serial fast path, block
+// boundaries, and many-block vectors.
+func TestReductionsBitIdenticalAcrossThreads(t *testing.T) {
+	rt := exec.New(8)
+	defer rt.Close()
+	for _, n := range []int{100, reduceBlock - 1, reduceBlock,
+		reduceBlock + 1, 3*reduceBlock + 17, 100003} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		rng := util.NewRNG(uint64(n))
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64() * 1e-3 // mixed magnitudes
+		}
+		var wantDot, wantNorm uint64
+		for ti, threads := range []int{1, 2, 8} {
+			ws := NewWorkspace()
+			rd := Options{Threads: threads, Runtime: rt}.reducer(ws)
+			gotDot := math.Float64bits(rd.Dot(x, y))
+			gotNorm := math.Float64bits(rd.Norm2(x))
+			if ti == 0 {
+				wantDot, wantNorm = gotDot, gotNorm
+				continue
+			}
+			if gotDot != wantDot {
+				t.Fatalf("n=%d: Dot at %d threads = %x, want %x (1 thread)",
+					n, threads, gotDot, wantDot)
+			}
+			if gotNorm != wantNorm {
+				t.Fatalf("n=%d: Norm2 at %d threads = %x, want %x (1 thread)",
+					n, threads, gotNorm, wantNorm)
+			}
+		}
+	}
+}
+
+// TestReductionsMatchSerialReference checks the blocked results stay
+// numerically close to the plain serial sums (they differ only in
+// rounding).
+func TestReductionsMatchSerialReference(t *testing.T) {
+	n := 50000
+	x := make([]float64, n)
+	y := make([]float64, n)
+	rng := util.NewRNG(3)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	ws := NewWorkspace()
+	rd := Options{Threads: 1}.reducer(ws)
+	if got, want := rd.Dot(x, y), util.Dot(x, y); !util.NearlyEqual(got, want, 1e-12, 1e-12) {
+		t.Fatalf("Dot = %v, serial reference %v", got, want)
+	}
+	if got, want := rd.Norm2(x), util.Norm2(x); !util.NearlyEqual(got, want, 1e-12, 1e-12) {
+		t.Fatalf("Norm2 = %v, serial reference %v", got, want)
+	}
+}
+
+// TestReducerReusesPartials ensures the hot reduction path performs
+// no allocation once the workspace has warmed up.
+func TestReducerReusesPartials(t *testing.T) {
+	n := 10 * reduceBlock
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%7) - 3
+	}
+	// Only the serial path is asserted allocation-free: the parallel
+	// path goes through the runtime's sync.Pool-recycled region
+	// objects, and pool reuse is best-effort across GC cycles.
+	ws := NewWorkspace()
+	rd := Options{Threads: 1}.reducer(ws)
+	rd.Dot(x, x) // warm
+	allocs := testing.AllocsPerRun(20, func() {
+		rd.Dot(x, x)
+		rd.Norm2(x)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm reductions allocate %.1f times per run, want 0", allocs)
+	}
+}
+
+// TestSolveTrajectoryIdenticalAcrossThreads runs the same CG solve at
+// 1, 2, and 8 threads on a shared runtime and requires bit-identical
+// iterates: the deterministic reductions plus exact parallel SpMV
+// (each y[i] is one serial row sum at any thread count) make the
+// whole trajectory reproducible.
+func TestSolveTrajectoryIdenticalAcrossThreads(t *testing.T) {
+	rt := exec.New(8)
+	defer rt.Close()
+	a := gen.GridLaplacian(70, 70, 1, gen.Star5, 0.5)
+	n := a.N
+	b := make([]float64, n)
+	rng := util.NewRNG(42)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var wantIters int
+	var want []float64
+	for ti, threads := range []int{1, 2, 8} {
+		x := make([]float64, n)
+		st, err := CG(a, Identity{}, b, x, Options{
+			Tol: 1e-8, Threads: threads, Runtime: rt,
+		})
+		if err != nil || !st.Converged {
+			t.Fatalf("threads=%d: CG failed: %v (converged=%v)", threads, err, st.Converged)
+		}
+		if ti == 0 {
+			wantIters = st.Iterations
+			want = x
+			continue
+		}
+		if st.Iterations != wantIters {
+			t.Fatalf("threads=%d: %d iterations, want %d", threads, st.Iterations, wantIters)
+		}
+		for i := range x {
+			if math.Float64bits(x[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("threads=%d: x[%d] = %x, want %x (not bit-identical)",
+					threads, i, math.Float64bits(x[i]), math.Float64bits(want[i]))
+			}
+		}
+	}
+}

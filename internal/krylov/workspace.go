@@ -20,6 +20,9 @@ type Workspace struct {
 	gh       [][]float64 // Hessenberg: restart+1 rows of restart entries
 	gcs, gsn []float64
 	gg, gy   []float64
+	// red holds the deterministic blocked-reduction state (partial
+	// sums buffer); see reduce.go.
+	red reducer
 }
 
 // NewWorkspace returns an empty workspace; storage is allocated

@@ -5,6 +5,8 @@
 package spmv
 
 import (
+	"sync"
+
 	"javelin/internal/exec"
 	"javelin/internal/sparse"
 	"javelin/internal/util"
@@ -45,29 +47,52 @@ func ParallelOn(rt *exec.Runtime, a *sparse.CSR, x, y []float64, threads int) {
 // tile). Badly skewed row lengths (dense rails in circuit matrices)
 // therefore cannot serialize a thread — the property the paper
 // borrows from CSR5 for its lower-stage layout.
+//
+// A Segmented is safe for concurrent use: the tile metadata is
+// immutable after NewSegmented and each Mul/MulOn call checks out its
+// own boundary scratch from an internal pool, so one Segmented can
+// serve any number of goroutines (the shared-Applier workloads that
+// share one matrix across solver instances).
 type Segmented struct {
 	a         *sparse.CSR
 	tileSize  int
 	tileRow0  []int // row containing each tile's first nonzero
 	emptyRows []int // rows with no stored entries (zeroed each Mul)
-	// scratch reused across Mul calls (one Segmented per goroutine).
-	bRow []int
-	bVal []float64
+	// boundaries pools per-call boundary scratch (*boundary); sharing
+	// it across calls on one goroutine keeps the old single-caller
+	// allocation profile while making concurrent calls safe.
+	boundaries sync.Pool
 }
 
+// boundary is one Mul call's private scratch for row segments that
+// cross tile edges: at most two partials per tile (head and tail).
+type boundary struct {
+	row []int
+	val []float64
+}
+
+// MinTileSize is the smallest supported tile granularity: below ~32
+// nonzeros the per-tile bookkeeping dominates the segment sums.
+const MinTileSize = 32
+
 // NewSegmented prepares tile metadata (the "little extra storage"
-// CSR5 needs beyond plain CSR).
+// CSR5 needs beyond plain CSR). tileSize is clamped to MinTileSize
+// from below.
 func NewSegmented(a *sparse.CSR, tileSize int) *Segmented {
-	if tileSize < 32 {
-		tileSize = 512
+	if tileSize < MinTileSize {
+		tileSize = MinTileSize
 	}
 	nnz := a.Nnz()
 	nt := (nnz + tileSize - 1) / tileSize
 	s := &Segmented{
 		a: a, tileSize: tileSize,
 		tileRow0: make([]int, nt),
-		bRow:     make([]int, 2*nt),
-		bVal:     make([]float64, 2*nt),
+	}
+	s.boundaries.New = func() any {
+		return &boundary{
+			row: make([]int, 2*nt),
+			val: make([]float64, 2*nt),
+		}
 	}
 	row := 0
 	for t := 0; t < nt; t++ {
@@ -88,15 +113,16 @@ func NewSegmented(a *sparse.CSR, tileSize int) *Segmented {
 // NumTiles returns the tile count.
 func (s *Segmented) NumTiles() int { return len(s.tileRow0) }
 
-// Mul computes y = A·x on the default runtime. Not safe for
-// concurrent calls on one Segmented (shared boundary scratch).
+// Mul computes y = A·x on the default runtime. Safe for concurrent
+// calls on one Segmented.
 func (s *Segmented) Mul(x, y []float64, threads int) {
 	s.MulOn(nil, x, y, threads)
 }
 
 // MulOn computes y = A·x with tiles scheduled on the given runtime
-// (nil means the default). Not safe for concurrent calls on one
-// Segmented (shared boundary scratch).
+// (nil means the default). Safe for concurrent calls on one
+// Segmented: boundary scratch is checked out per call, and callers
+// write only their own y.
 func (s *Segmented) MulOn(rt *exec.Runtime, x, y []float64, threads int) {
 	if rt == nil {
 		rt = exec.Default()
@@ -110,8 +136,10 @@ func (s *Segmented) MulOn(rt *exec.Runtime, x, y []float64, threads int) {
 		}
 		return
 	}
-	for i := range s.bRow {
-		s.bRow[i] = -1
+	b := s.boundaries.Get().(*boundary)
+	bRow, bVal := b.row, b.val
+	for i := range bRow {
+		bRow[i] = -1
 	}
 	rt.For(nt, threads, func(t int) {
 		kLo := t * s.tileSize
@@ -129,24 +157,25 @@ func (s *Segmented) MulOn(rt *exec.Runtime, x, y []float64, threads int) {
 			if complete {
 				y[row] = sum
 			} else {
-				s.bRow[bi] = row
-				s.bVal[bi] = sum
+				bRow[bi] = row
+				bVal[bi] = sum
 				bi++
 			}
 		}
 	})
 	// Merge boundary partials: zero the affected rows, then add.
-	for _, r := range s.bRow {
+	for _, r := range bRow {
 		if r >= 0 {
 			y[r] = 0
 		}
 	}
-	for i, r := range s.bRow {
+	for i, r := range bRow {
 		if r >= 0 {
-			y[r] += s.bVal[i]
+			y[r] += bVal[i]
 		}
 	}
 	for _, r := range s.emptyRows {
 		y[r] = 0
 	}
+	s.boundaries.Put(b)
 }

@@ -2,6 +2,7 @@ package spmv
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -104,6 +105,84 @@ func TestSegmentedEmptyRows(t *testing.T) {
 	want := []float64{1, 0, 0, 0, 2}
 	if !vecsEqual(want, y, 0) {
 		t.Fatalf("empty-row handling: %v", y)
+	}
+}
+
+func TestNewSegmentedTileSizeClamp(t *testing.T) {
+	a := gen.GridLaplacian(13, 11, 1, gen.Star5, 1)
+	for _, tc := range []struct{ in, want int }{
+		{1, MinTileSize},  // below minimum: clamp, don't promote to 512
+		{16, MinTileSize}, // below minimum: clamp
+		{32, 32},          // exactly the minimum: kept
+		{33, 33},          // above: kept
+		{512, 512},        // default-sized: kept
+	} {
+		s := NewSegmented(a, tc.in)
+		if s.tileSize != tc.want {
+			t.Errorf("NewSegmented(tileSize=%d): got %d, want %d", tc.in, s.tileSize, tc.want)
+		}
+	}
+	// Clamped tile sizes must still compute correctly.
+	x := make([]float64, a.M)
+	rng := util.NewRNG(5)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.N)
+	Serial(a, x, want)
+	for _, ts := range []int{1, 16} {
+		s := NewSegmented(a, ts)
+		got := make([]float64, a.N)
+		s.Mul(x, got, 4)
+		if !vecsEqual(want, got, 1e-12) {
+			t.Fatalf("clamped tile size %d: mismatch", ts)
+		}
+	}
+}
+
+// TestSegmentedConcurrentMul hammers a single Segmented from 8
+// goroutines (run under -race in CI): the boundary scratch must be
+// per-call, so concurrent Muls neither race nor corrupt results.
+func TestSegmentedConcurrentMul(t *testing.T) {
+	a := gen.Circuit(gen.CircuitOptions{N: 600, AvgDeg: 3, NumHubs: 4,
+		HubDeg: 180, UnsymFrac: 0.2, Locality: 40, Seed: 9})
+	x := make([]float64, a.M)
+	rng := util.NewRNG(11)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	want := make([]float64, a.N)
+	Serial(a, x, want)
+
+	s := NewSegmented(a, 64) // small tiles: plenty of boundary segments
+	const goroutines = 8
+	const rounds = 25
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := make([]float64, a.N)
+			for it := 0; it < rounds; it++ {
+				for i := range got {
+					got[i] = math.NaN() // poison: every row must be rewritten
+				}
+				s.Mul(x, got, 1+g%4)
+				if !vecsEqual(want, got, 1e-12) {
+					select {
+					case errs <- "concurrent Mul produced a wrong result":
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatal(msg)
 	}
 }
 
