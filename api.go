@@ -321,8 +321,10 @@ func (p *Preconditioner) Close() { p.e.Close() }
 // use; treat as read-only.
 func (p *Preconditioner) Engine() *core.Engine { return p.e }
 
-// SolverOptions bounds an iterative solve. Set Work (a reusable
-// *SolverWorkspace) to make repeated solves allocation-free.
+// SolverOptions bounds an iterative solve through the deprecated free
+// functions. Set Work (a reusable *SolverWorkspace) to make repeated
+// solves allocation-free. New code should use NewSolver with
+// functional options instead.
 type SolverOptions = krylov.Options
 
 // SolverStats reports iterations and convergence.
@@ -338,35 +340,39 @@ type SolverWorkspace = krylov.Workspace
 // grows it to size.
 func NewSolverWorkspace() *SolverWorkspace { return krylov.NewWorkspace() }
 
-func enginePC(p *Preconditioner) krylov.Preconditioner {
-	if p != nil {
-		return p.e
-	}
-	return krylov.Identity{}
-}
+// The free Solve* functions below are thin wrappers over a
+// per-call Solver, kept so existing callers compile and behave
+// unchanged: they honor SolverOptions.Work, return Converged=false
+// with a nil error when MaxIter runs out, and are now concurrency-safe
+// (each call draws a pooled context instead of racing on the
+// preconditioner's built-in applier). New code should build one
+// Solver and share it.
 
 // SolveCG runs preconditioned conjugate gradients (SPD matrices).
-// Pass nil for no preconditioning. Uses the preconditioner's built-in
-// applier; for concurrent solves over one preconditioner use
-// SolveCGWith with per-goroutine appliers.
+// Pass nil for no preconditioning.
+//
+// Deprecated: use NewSolver(m, p, WithMethod(MethodCG), ...) and
+// Solver.Solve, which adds context cancellation, typed errors, and
+// pooled per-call state.
 func SolveCG(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.CG(m.csr, enginePC(p), b, x, opt)
+	return legacySolve(m, p, nil, MethodCG, b, x, opt)
 }
 
-// SolveGMRES runs left-preconditioned restarted GMRES. Uses the
-// preconditioner's built-in applier; see SolveGMRESWith for
-// concurrent use.
+// SolveGMRES runs left-preconditioned restarted GMRES.
+//
+// Deprecated: use NewSolver(m, p, WithMethod(MethodGMRES), ...) and
+// Solver.Solve.
 func SolveGMRES(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.GMRES(m.csr, enginePC(p), b, x, opt)
+	return legacySolve(m, p, nil, MethodGMRES, b, x, opt)
 }
 
 // SolveBiCGSTAB runs preconditioned BiCGSTAB: the unsymmetric-system
-// solver with constant memory (no GMRES restart basis), the right
-// fit when many solver instances run concurrently against one shared
-// preconditioner. Uses the preconditioner's built-in applier; see
-// SolveBiCGSTABWith for concurrent use.
+// solver with constant memory (no GMRES restart basis).
+//
+// Deprecated: use NewSolver(m, p, WithMethod(MethodBiCGSTAB), ...)
+// and Solver.Solve.
 func SolveBiCGSTAB(m *Matrix, p *Preconditioner, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.BiCGSTAB(m.csr, enginePC(p), b, x, opt)
+	return legacySolve(m, p, nil, MethodBiCGSTAB, b, x, opt)
 }
 
 func applierPC(a *Applier) krylov.Preconditioner {
@@ -377,22 +383,27 @@ func applierPC(a *Applier) krylov.Preconditioner {
 }
 
 // SolveCGWith runs CG applying the preconditioner through the given
-// Applier (nil means unpreconditioned). With one Applier and one
-// SolverWorkspace per goroutine, any number of CG solves may run
-// concurrently against a single shared factorization.
+// Applier (nil means unpreconditioned).
+//
+// Deprecated: use NewSolver and Solver.Solve — the Solver manages
+// per-call appliers and workspaces internally, so concurrent callers
+// no longer wire them by hand.
 func SolveCGWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.CG(m.csr, applierPC(a), b, x, opt)
+	return legacySolve(m, nil, applierPC(a), MethodCG, b, x, opt)
 }
 
 // SolveGMRESWith runs GMRES through the given Applier (nil means
-// unpreconditioned); the concurrent-solve counterpart of SolveGMRES.
+// unpreconditioned).
+//
+// Deprecated: use NewSolver and Solver.Solve.
 func SolveGMRESWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.GMRES(m.csr, applierPC(a), b, x, opt)
+	return legacySolve(m, nil, applierPC(a), MethodGMRES, b, x, opt)
 }
 
 // SolveBiCGSTABWith runs BiCGSTAB through the given Applier (nil
-// means unpreconditioned); the concurrent-solve counterpart of
-// SolveBiCGSTAB.
+// means unpreconditioned).
+//
+// Deprecated: use NewSolver and Solver.Solve.
 func SolveBiCGSTABWith(m *Matrix, a *Applier, b, x []float64, opt SolverOptions) (SolverStats, error) {
-	return krylov.BiCGSTAB(m.csr, applierPC(a), b, x, opt)
+	return legacySolve(m, nil, applierPC(a), MethodBiCGSTAB, b, x, opt)
 }

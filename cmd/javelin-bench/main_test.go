@@ -29,9 +29,9 @@ func TestRunJSONSmoke(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
 		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
 	}
-	// 1 matrix × 2 thread counts × 2 ops.
-	if len(recs) != 4 {
-		t.Fatalf("got %d records, want 4", len(recs))
+	// 1 matrix × 2 thread counts × 3 ops (factorize, apply, solve).
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6", len(recs))
 	}
 	for _, r := range recs {
 		for _, key := range []string{"matrix", "n", "nnz", "method", "op", "threads", "ns_per_op"} {
@@ -59,8 +59,8 @@ func TestRunJSONStats(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
 		t.Fatalf("output is not the stats JSON object: %v\n%s", err, out.String())
 	}
-	if len(doc.Records) != 4 {
-		t.Fatalf("got %d records, want 4", len(doc.Records))
+	if len(doc.Records) != 6 {
+		t.Fatalf("got %d records, want 6", len(doc.Records))
 	}
 	for _, key := range []string{"regions", "chunks", "gangs", "gang_wait_ns",
 		"steal_attempts", "parks", "spin_to_parks"} {

@@ -1,25 +1,27 @@
 // Command javelin-solve runs an end-to-end preconditioned solve: load
 // (or generate) a matrix, factorize with Javelin, and solve A·x = b
-// with CG or GMRES against a synthetic right-hand side.
+// with CG, GMRES, or BiCGSTAB against a synthetic right-hand side,
+// through the public Solver session API.
 //
 // Usage:
 //
 //	javelin-solve -matrix apache2 -scale 0.05 -solver cg -threads 8
 //	javelin-solve -file system.mtx -solver gmres -tol 1e-8
+//	javelin-solve -matrix trans4 -solver auto -timeout 30s
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
+	"javelin"
 	"javelin/internal/bench"
-	"javelin/internal/core"
 	"javelin/internal/gen"
-	"javelin/internal/krylov"
-	"javelin/internal/mmio"
 	"javelin/internal/sparse"
 	"javelin/internal/util"
 )
@@ -35,10 +37,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		name    = fs.String("matrix", "apache2", "Table-I matrix name to generate")
 		file    = fs.String("file", "", "MatrixMarket file (overrides -matrix)")
 		scale   = fs.Float64("scale", 0.05, "suite scale factor")
-		solver  = fs.String("solver", "cg", "cg or gmres")
+		solver  = fs.String("solver", "cg", "cg, gmres, bicgstab, or auto (pattern-based)")
 		tol     = fs.Float64("tol", 1e-6, "relative residual tolerance")
+		maxIter = fs.Int("maxiter", 0, "iteration cap (0 = solver default)")
 		threads = fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		lower   = fs.String("lower", "auto", "lower-stage method: auto|er|sr|none")
+		timeout = fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -51,11 +55,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	var a *sparse.CSR
 	if *file != "" {
-		m, err := mmio.ReadFile(*file)
+		m, err := javelin.ReadMatrixMarketFile(*file)
 		if err != nil {
 			return fail("read %s: %v", *file, err)
 		}
-		a = m
+		a = m.Raw()
 	} else {
 		spec, ok := gen.ByName(*name)
 		if !ok {
@@ -65,65 +69,100 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "matrix: n=%d nnz=%d rd=%.2f\n", a.N, a.Nnz(), a.RowDensity())
 
-	a = bench.Preorder(a)
+	m, err := javelin.WrapCSR(bench.Preorder(a))
+	if err != nil {
+		return fail("matrix: %v", err)
+	}
 
-	opt := core.DefaultOptions()
+	var method javelin.Method
+	switch *solver {
+	case "cg":
+		method = javelin.MethodCG
+	case "gmres":
+		method = javelin.MethodGMRES
+	case "bicgstab":
+		method = javelin.MethodBiCGSTAB
+	case "auto":
+		method = javelin.MethodAuto
+	default:
+		return fail("unknown solver %q", *solver)
+	}
+
+	opt := javelin.DefaultOptions()
 	opt.Threads = *threads
 	switch *lower {
 	case "auto":
-		opt.Lower = core.LowerAuto
+		opt.Lower = javelin.LowerAuto
 	case "er":
-		opt.Lower = core.LowerER
+		opt.Lower = javelin.LowerER
 	case "sr":
-		opt.Lower = core.LowerSR
+		opt.Lower = javelin.LowerSR
 	case "none":
-		opt.Lower = core.LowerNone
+		opt.Lower = javelin.LowerNone
 	default:
 		return fail("unknown lower method %q", *lower)
 	}
 
 	t0 := time.Now()
-	e, err := core.Factorize(a, opt)
+	p, err := javelin.Factorize(m, opt)
 	if err != nil {
 		return fail("factorize: %v", err)
 	}
-	defer e.Close()
+	defer p.Close()
+	e := p.Engine()
 	fmt.Fprintf(stdout, "factorized in %v (levels=%d upper=%d lower=%d method=%s)\n",
 		time.Since(t0), e.Split().Lv.Count, e.Split().NUpper,
-		e.Split().NLower(), e.Method())
+		e.Split().NLower(), p.Method())
 
-	n := a.N
+	// The Solver inherits the engine's thread count and runtime, so
+	// its matvecs ride the same worker pool as the factorization.
+	s, err := javelin.NewSolver(m, p,
+		javelin.WithMethod(method), javelin.WithTol(*tol), javelin.WithMaxIter(*maxIter))
+	if err != nil {
+		return fail("solver: %v", err)
+	}
+	if method == javelin.MethodAuto {
+		fmt.Fprintf(stdout, "auto-selected method: %s\n", s.Method())
+	}
+
+	n := m.N()
 	xTrue := make([]float64, n)
 	rng := util.NewRNG(2024)
 	for i := range xTrue {
 		xTrue[i] = rng.NormFloat64()
 	}
 	b := make([]float64, n)
-	a.MatVec(xTrue, b)
+	m.MatVec(xTrue, b)
 	x := make([]float64, n)
 
-	// Solver-side matvecs ride the engine's runtime at the same
-	// thread count as the factorization.
-	kopt := krylov.Options{Tol: *tol, Threads: e.Threads(), Runtime: e.Runtime()}
-	var st krylov.Stats
-	t0 = time.Now()
-	switch *solver {
-	case "cg":
-		st, err = krylov.CG(a, e, b, x, kopt)
-	case "gmres":
-		st, err = krylov.GMRES(a, e, b, x, kopt)
-	default:
-		return fail("unknown solver %q", *solver)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+
+	t0 = time.Now()
+	st, err := s.Solve(ctx, b, x)
 	if err != nil {
-		return fail("solve: %v", err)
+		var se *javelin.SolveError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded) && errors.As(err, &se):
+			return fail("solve timed out after %d iterations (relres %.3g)",
+				se.Stats.Iterations, se.Stats.RelResidual)
+		case errors.Is(err, javelin.ErrNotConverged) && errors.As(err, &se):
+			return fail("no convergence in %d iterations (relres %.3g)",
+				se.Stats.Iterations, se.Stats.RelResidual)
+		default:
+			return fail("solve: %v", err)
+		}
 	}
 	errNorm := 0.0
 	for i := range x {
 		errNorm += (x[i] - xTrue[i]) * (x[i] - xTrue[i])
 	}
 	fmt.Fprintf(stdout, "%s: converged=%v iters=%d relres=%.3g err=%.3g time=%v\n",
-		*solver, st.Converged, st.Iterations, st.RelResidual,
+		s.Method(), st.Converged, st.Iterations, st.RelResidual,
 		errNorm, time.Since(t0))
 	return 0
 }

@@ -43,3 +43,38 @@ func TestRunSolveRejectsBadInput(t *testing.T) {
 		t.Fatalf("bogus flag: rc=%d", rc)
 	}
 }
+
+func TestRunSolveBiCGSTABSmoke(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "trans4", "-scale", "0.02", "-solver", "bicgstab",
+		"-threads", "2"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "bicgstab:") {
+		t.Fatalf("unexpected output:\n%s", out.String())
+	}
+}
+
+func TestRunSolveAutoSelectsMethod(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "wang3", "-scale", "0.02", "-solver", "auto"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "auto-selected method:") {
+		t.Fatalf("auto selection not reported:\n%s", out.String())
+	}
+}
+
+func TestRunSolveReportsNonConvergence(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "wang3", "-scale", "0.02", "-solver", "cg",
+		"-tol", "1e-30", "-maxiter", "3"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("rc=%d, want 1 for non-convergence", rc)
+	}
+	if !strings.Contains(errb.String(), "no convergence in 3 iterations") {
+		t.Fatalf("stderr:\n%s", errb.String())
+	}
+}

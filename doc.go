@@ -23,36 +23,69 @@
 //	p, err := javelin.Factorize(m, javelin.DefaultOptions())
 //	if err != nil { ... }
 //	defer p.Close()
+//	s, err := javelin.NewSolver(m, p, javelin.WithTol(1e-6))
+//	if err != nil { ... }
 //	x := make([]float64, m.N())
-//	stats, err := javelin.SolveCG(m, p, b, x, javelin.SolverOptions{Tol: 1e-6})
+//	stats, err := s.Solve(ctx, b, x)
+//
+// # Solver sessions & migration
+//
+// A Solver is the single entry point for iterative solves: built once
+// from a Matrix and an optional Preconditioner, it is safe for any
+// number of concurrent Solve calls. Each call draws its
+// preconditioner-application context and Krylov workspace from
+// internal pools (allocation-free once warm), honors its
+// context.Context within one iteration of cancellation, and fails
+// with typed errors — ErrNotConverged, ErrBreakdown, ErrDimension,
+// ErrNonFinite, ErrStopped — every one a *SolveError carrying the
+// SolverStats at the stopping point:
+//
+//	s, err := javelin.NewSolver(m, p,
+//		javelin.WithMethod(javelin.MethodAuto), // CG if pattern-symmetric, else GMRES
+//		javelin.WithTol(1e-8),
+//		javelin.WithMonitor(func(it javelin.IterInfo) bool {
+//			return it.Residual < 1e6 // give up on blow-up
+//		}))
+//	for w := 0; w < workers; w++ {
+//		go func() {
+//			for job := range jobs {
+//				st, err := s.Solve(job.ctx, job.b, job.x)
+//				if errors.Is(err, javelin.ErrNotConverged) { ... }
+//			}
+//		}()
+//	}
+//
+// The free solve functions predate Solver and remain as deprecated
+// compatibility wrappers (same trajectories, old nil-error
+// non-convergence contract). Migration map:
+//
+//	SolveCG(m, p, b, x, opt)        → NewSolver(m, p, WithMethod(MethodCG), ...).Solve(ctx, b, x)
+//	SolveGMRES(m, p, b, x, opt)     → NewSolver(m, p, WithMethod(MethodGMRES), WithRestart(k), ...)
+//	SolveBiCGSTAB(m, p, b, x, opt)  → NewSolver(m, p, WithMethod(MethodBiCGSTAB), ...)
+//	SolveCGWith(m, ap, b, x, opt)   → same Solver — per-call appliers are pooled internally
+//	SolveGMRESWith / SolveBiCGSTABWith → likewise; drop the Applier plumbing
+//	opt.Tol / MaxIter / Restart     → WithTol / WithMaxIter / WithRestart
+//	opt.Threads / Runtime           → WithThreads / WithRuntime (default: inherit the engine's)
+//	opt.Work (workspace reuse)      → automatic (pooled per call)
+//
+// One Solver binds one (matrix, preconditioner) pair; build another
+// for another system. The Preconditioner must outlive the Solver and
+// Refactorize must still be externally serialized against in-flight
+// solves.
 //
 // # Concurrency model
 //
 // A factorized Preconditioner is immutable while it is being applied:
 // the factor values, permutation, level schedules, and tile plans are
-// only read by the solves. All mutable solve state lives in Applier
-// objects, so one shared factorization can serve any number of
-// goroutines — each creates its own Applier (cheap: two length-N
-// scratch vectors plus schedule progress counters) and applies or
-// solves through it:
-//
-//	p, _ := javelin.Factorize(m, javelin.DefaultOptions())
-//	defer p.Close()
-//	for w := 0; w < workers; w++ {
-//		go func() {
-//			ap := p.NewApplier()          // per-goroutine context
-//			ws := javelin.NewSolverWorkspace() // allocation-free solves
-//			for job := range jobs {
-//				javelin.SolveCGWith(m, ap, job.b, job.x,
-//					javelin.SolverOptions{Tol: 1e-8, Work: ws})
-//			}
-//		}()
-//	}
-//
-// The Preconditioner's own Apply/ApplyBatch and the Solve* functions
-// without the With suffix route through one built-in applier and are
-// therefore single-caller convenience paths. Refactorize mutates the
-// factor values and must not overlap any in-flight solve.
+// only read by the solves. All mutable solve state lives in
+// per-caller contexts. The Solver pools those contexts automatically;
+// code that applies the preconditioner directly (outside a Solver)
+// creates its own Applier per goroutine (cheap: two length-N scratch
+// vectors plus schedule progress counters) and applies through it.
+// The Preconditioner's own Apply/ApplyBatch route through one
+// built-in applier and are therefore single-caller convenience paths.
+// Refactorize mutates the factor values and must not overlap any
+// in-flight solve.
 //
 // # Batched right-hand sides
 //

@@ -1,19 +1,20 @@
-// Concurrent: one factorization serving many goroutines' solves — the
-// shared-engine / per-caller-context architecture.
+// Concurrent: one factorization and ONE Solver serving many
+// goroutines' solves — the session architecture.
 //
 // Several time-stepping workers integrate independent heat-equation
-// trajectories over the SAME operator (I + dt·L). They share one
-// Javelin preconditioner: the factorization is computed once, then
-// each worker creates its own Applier (per-goroutine solve context)
-// and a reusable solver workspace, and runs its whole trajectory
-// concurrently with the others. The factor, permutation, level
-// schedules, and tiles are all shared and read-only; per-worker state
-// is two scratch vectors plus schedule progress counters.
+// trajectories over the SAME operator (I + dt·L). They share a single
+// Javelin preconditioner and a single Solver session: the solver
+// draws a per-call application context and Krylov workspace from
+// internal pools, so the workers just call Solve concurrently —
+// no per-goroutine Applier or workspace wiring, and no allocation
+// once the pools are warm. A context with a deadline bounds every
+// worker's whole trajectory.
 //
 // Run with: go run ./examples/concurrent
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,7 +33,7 @@ const (
 
 func main() {
 	// Implicit heat equation: (I + dt·L) u_{t+1} = u_t on an nx×nx
-	// grid. One matrix, one factorization, shared by everyone.
+	// grid. One matrix, one factorization, one solver, shared by all.
 	m := javelin.GridLaplacian(nx, nx, 1, javelin.Star5, 1/dt)
 	n := m.N()
 
@@ -45,6 +46,16 @@ func main() {
 	fmt.Printf("factorized %d×%d operator once in %v (method %v)\n",
 		n, n, time.Since(t0).Round(time.Microsecond), p.Method())
 
+	solver, err := javelin.NewSolver(m, p, javelin.WithTol(1e-8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every trajectory must finish within the deadline; a canceled
+	// solve returns within one iteration with the context's error.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	var (
 		wg       sync.WaitGroup
 		mu       sync.Mutex
@@ -56,12 +67,6 @@ func main() {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Per-goroutine solve state: an applier over the shared
-			// factorization and a reusable Krylov workspace, so the
-			// whole trajectory allocates almost nothing.
-			ap := p.NewApplier()
-			ws := javelin.NewSolverWorkspace()
-
 			// Each worker starts from its own initial condition: a
 			// heat bump at a worker-specific location.
 			u := make([]float64, n)
@@ -79,13 +84,11 @@ func main() {
 				for i := range b {
 					b[i] = u[i] / dt
 				}
-				st, err := javelin.SolveCGWith(m, ap, b, u,
-					javelin.SolverOptions{Tol: 1e-8, Work: ws})
+				// The shared solver pools all per-call state; the
+				// worker only owns its trajectory vectors.
+				st, err := solver.Solve(ctx, b, u)
 				if err != nil {
-					log.Fatalf("worker %d: %v", w, err)
-				}
-				if !st.Converged {
-					log.Fatalf("worker %d: CG stalled at step %d (%+v)", w, s, st)
+					log.Fatalf("worker %d step %d: %v", w, s, err)
 				}
 				its += st.Iterations
 				solves++
@@ -106,7 +109,7 @@ func main() {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
-	fmt.Printf("\n%d workers × %d steps on one shared factorization: %v total, "+
+	fmt.Printf("\n%d workers × %d steps on one shared factorization and solver: %v total, "+
 		"%d CG solves (%d iterations, avg %.1f its/solve)\n",
 		workers, steps, elapsed.Round(time.Millisecond),
 		totalCG, totalIts, float64(totalIts)/float64(totalCG))

@@ -1,8 +1,12 @@
 // Quickstart: build a small SPD system, factorize it with Javelin's
-// defaults, and solve it with preconditioned CG.
+// defaults, and solve it through a Solver session — the one entry
+// point for iterative solves (method selection, cancellation, typed
+// errors, and concurrency safety built in).
 package main
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"log"
 
@@ -24,6 +28,15 @@ func main() {
 	fmt.Printf("factor: levels=%d upper-stage rows=%d lower method=%s\n",
 		p.NumLevels(), p.NUpper(), p.Method())
 
+	// Build the solve session once. MethodAuto reads the pattern
+	// symmetry and picks CG here; the session is reusable and safe for
+	// any number of concurrent Solve calls.
+	solver, err := javelin.NewSolver(m, p, javelin.WithTol(1e-8))
+	if err != nil {
+		log.Fatalf("solver: %v", err)
+	}
+	fmt.Printf("solver: method=%s\n", solver.Method())
+
 	// Manufacture a right-hand side with a known solution.
 	n := m.N()
 	xTrue := make([]float64, n)
@@ -33,10 +46,17 @@ func main() {
 	b := make([]float64, n)
 	m.MatVec(xTrue, b)
 
-	// Solve with ILU(0)-preconditioned CG.
+	// Solve. Errors are typed: non-convergence, breakdown, bad input,
+	// and cancellation are all errors.Is-distinguishable, and a
+	// *SolveError carries the stats at the stopping point.
 	x := make([]float64, n)
-	st, err := javelin.SolveCG(m, p, b, x, javelin.SolverOptions{Tol: 1e-8})
+	st, err := solver.Solve(context.Background(), b, x)
 	if err != nil {
+		var se *javelin.SolveError
+		if errors.Is(err, javelin.ErrNotConverged) && errors.As(err, &se) {
+			log.Fatalf("stalled at relres %.2e after %d iterations",
+				se.Stats.RelResidual, se.Stats.Iterations)
+		}
 		log.Fatalf("solve: %v", err)
 	}
 	maxErr := 0.0
@@ -45,8 +65,8 @@ func main() {
 			maxErr = d
 		}
 	}
-	fmt.Printf("CG: converged=%v iterations=%d relres=%.2e max|x-x*|=%.2e\n",
-		st.Converged, st.Iterations, st.RelResidual, maxErr)
+	fmt.Printf("%s: converged=%v iterations=%d relres=%.2e max|x-x*|=%.2e\n",
+		solver.Method(), st.Converged, st.Iterations, st.RelResidual, maxErr)
 }
 
 func abs(x float64) float64 {

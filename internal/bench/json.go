@@ -6,6 +6,7 @@ import (
 
 	"javelin/internal/core"
 	"javelin/internal/exec"
+	"javelin/internal/krylov"
 	"javelin/internal/util"
 )
 
@@ -17,7 +18,7 @@ type Record struct {
 	N       int    `json:"n"`
 	Nnz     int    `json:"nnz"`
 	Method  string `json:"method"` // resolved lower-stage method
-	Op      string `json:"op"`     // "factorize" | "apply"
+	Op      string `json:"op"`     // "factorize" | "apply" | "solve"
 	Threads int    `json:"threads"`
 	NsPerOp int64  `json:"ns_per_op"`
 }
@@ -93,6 +94,37 @@ func CollectRecords(cfg Config) ([]Record, error) {
 				e.Apply(r, z)
 			}).Nanoseconds()
 			recs = append(recs, ap)
+
+			// End-to-end iterate-to-tolerance cost — the quantity the
+			// public Solver sessions serve. Method mirrors MethodAuto:
+			// CG on pattern-symmetric matrices, GMRES otherwise.
+			sv := base
+			sv.Op = "solve"
+			ws := krylov.NewWorkspace()
+			kopt := krylov.Options{Tol: 1e-6, Work: ws,
+				Threads: threads, Runtime: e.Runtime()}
+			x := make([]float64, a.N)
+			solveOnce := func() error {
+				for i := range x {
+					x[i] = 0
+				}
+				if a.PatternSymmetric() {
+					_, err := krylov.CG(a, e, r, x, kopt)
+					return err
+				}
+				_, err := krylov.GMRES(a, e, r, x, kopt)
+				return err
+			}
+			if err := solveOnce(); err != nil { // warm the workspace
+				e.Close()
+				return nil, fmt.Errorf("bench: solve %s @%dT: %w", inst.Spec.Name, threads, err)
+			}
+			sv.NsPerOp = TimeBest(cfg.Repeats, func() {
+				if err := solveOnce(); err != nil {
+					panic(err)
+				}
+			}).Nanoseconds()
+			recs = append(recs, sv)
 			e.Close()
 		}
 	}

@@ -35,6 +35,30 @@ func (e *Engine) NewContext() *SolveContext {
 	}
 }
 
+// AcquireContext returns a SolveContext drawn from the engine's
+// internal pool, creating one only when the pool is empty. Paired
+// with ReleaseContext it lets per-call entry points (one acquire per
+// solve) reuse contexts across any number of concurrent callers
+// without allocating once the pool is warm. The returned context is
+// exclusively the caller's until released.
+func (e *Engine) AcquireContext() *SolveContext {
+	if c, ok := e.ctxPool.Get().(*SolveContext); ok {
+		return c
+	}
+	return e.NewContext()
+}
+
+// ReleaseContext returns an acquired context to the engine's pool.
+// The context must not be used after release. Contexts belonging to a
+// different engine are dropped rather than pooled (a foreign context
+// would solve with the wrong factor).
+func (e *Engine) ReleaseContext(c *SolveContext) {
+	if c == nil || c.e != e {
+		return
+	}
+	e.ctxPool.Put(c)
+}
+
 // Engine returns the engine this context applies.
 func (c *SolveContext) Engine() *Engine { return c.e }
 

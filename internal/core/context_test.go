@@ -205,3 +205,70 @@ func TestConcurrentBatchAndSingleContexts(t *testing.T) {
 		t.Fatal(msg)
 	}
 }
+
+// TestAcquireReleaseContextPool exercises the engine's pooled-context
+// accessor: released contexts are recycled, foreign contexts are
+// dropped, and concurrent acquire/solve/release cycles against one
+// engine produce correct results (the accessor behind the public
+// Solver's per-call sessions).
+func TestAcquireReleaseContextPool(t *testing.T) {
+	e := testEngine(t, LowerAuto, 2)
+	n := e.N()
+
+	c1 := e.AcquireContext()
+	if c1 == nil || c1.Engine() != e {
+		t.Fatal("acquired context not bound to engine")
+	}
+	e.ReleaseContext(c1)
+	if c2 := e.AcquireContext(); c2 != c1 {
+		// Not guaranteed by sync.Pool in general, but with no GC and a
+		// single goroutine the just-released context must come back.
+		t.Fatal("released context was not recycled")
+	} else {
+		e.ReleaseContext(c2)
+	}
+
+	// A foreign engine's context must not enter the pool.
+	e2 := testEngine(t, LowerAuto, 1)
+	foreign := e2.NewContext()
+	e.ReleaseContext(foreign)
+	if got := e.AcquireContext(); got.Engine() != e {
+		t.Fatal("pool handed out a foreign context")
+	}
+	e.ReleaseContext(nil) // must not panic
+
+	// Concurrent acquire/solve/release: every result must match the
+	// reference application.
+	b := make([]float64, n)
+	rng := util.NewRNG(42)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want := make([]float64, n)
+	e.NewContext().Apply(b, want)
+	var wg sync.WaitGroup
+	fail := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 5; rep++ {
+				c := e.AcquireContext()
+				z := make([]float64, n)
+				c.Apply(b, z)
+				e.ReleaseContext(c)
+				for i := range z {
+					if math.Abs(z[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+						fail <- "pooled context apply diverged"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(fail)
+	for msg := range fail {
+		t.Fatal(msg)
+	}
+}

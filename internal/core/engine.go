@@ -153,6 +153,11 @@ type Engine struct {
 	ownRT     bool
 	closeOnce sync.Once
 
+	// ctxPool recycles SolveContexts between Acquire/ReleaseContext
+	// pairs so per-call solve entry points (the public Solver) stay
+	// allocation-free once warm.
+	ctxPool sync.Pool
+
 	rowSumU []float64 // MILU: Σ of each finished U-row (nil unless Modified)
 
 	// defCtx backs the Engine's own Apply/Solve* wrappers (the

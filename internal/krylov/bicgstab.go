@@ -1,7 +1,6 @@
 package krylov
 
 import (
-	"errors"
 	"math"
 
 	"javelin/internal/sparse"
@@ -18,8 +17,8 @@ import (
 // and two preconditioner applications.
 func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
 	n := a.N
-	if len(b) != n || len(x) != n {
-		return Stats{}, errors.New("krylov: dimension mismatch")
+	if err := checkSystem(n, b, x); err != nil {
+		return Stats{}, err
 	}
 	opt = opt.withDefaults(n)
 	ws := opt.workspace()
@@ -50,9 +49,12 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 			st.Converged = true
 			return st, nil
 		}
+		if err := opt.step(st.Iterations, st.RelResidual); err != nil {
+			return st, err
+		}
 		rhoNew := rd.Dot(rhat, r)
 		if rhoNew == 0 || math.IsNaN(rhoNew) {
-			return st, errors.New("krylov: BiCGSTAB breakdown (ρ = 0)")
+			return st, breakdown("BiCGSTAB ρ = %g", rhoNew)
 		}
 		beta := (rhoNew / rho) * (alpha / omega)
 		rho = rhoNew
@@ -63,7 +65,7 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		opt.matVec(a, phat, v)
 		rv := rd.Dot(rhat, v)
 		if rv == 0 || math.IsNaN(rv) {
-			return st, errors.New("krylov: BiCGSTAB breakdown (r̂ᵀv = 0)")
+			return st, breakdown("BiCGSTAB r̂ᵀv = %g", rv)
 		}
 		alpha = rho / rv
 		for i := range s {
@@ -82,11 +84,11 @@ func BiCGSTAB(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Sta
 		opt.matVec(a, shat, t)
 		tt := rd.Dot(t, t)
 		if tt == 0 || math.IsNaN(tt) {
-			return st, errors.New("krylov: BiCGSTAB breakdown (tᵀt = 0)")
+			return st, breakdown("BiCGSTAB tᵀt = %g", tt)
 		}
 		omega = rd.Dot(t, s) / tt
 		if omega == 0 {
-			return st, errors.New("krylov: BiCGSTAB stagnation (ω = 0)")
+			return st, breakdown("BiCGSTAB stagnation (ω = 0)")
 		}
 		for i := range x {
 			x[i] += alpha*phat[i] + omega*shat[i]

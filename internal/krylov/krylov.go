@@ -7,7 +7,7 @@
 package krylov
 
 import (
-	"errors"
+	"context"
 	"math"
 
 	"javelin/internal/exec"
@@ -47,6 +47,14 @@ type Stats struct {
 // blocked summation at every thread count — fixed block size, ordered
 // combine (see reduce.go) — so the convergence trajectory is
 // bit-identical whether a solve runs on 1 thread or many.
+//
+// Ctx, when non-nil, is checked at the top of every iteration: once it
+// is canceled (or its deadline passes) the solve returns ctx.Err()
+// with the stats accumulated so far, within one iteration of cancel.
+// Monitor, when non-nil, is called once per iteration with the current
+// IterInfo; returning false stops the solve with ErrStopped. Both
+// hooks are how the public Solver session API plumbs cancellation and
+// progress observation into the loops.
 type Options struct {
 	Tol     float64
 	MaxIter int
@@ -54,6 +62,8 @@ type Options struct {
 	Work    *Workspace
 	Threads int
 	Runtime *exec.Runtime
+	Ctx     context.Context
+	Monitor func(IterInfo) bool
 }
 
 // matVec computes y = A·x with the configured parallelism.
@@ -94,8 +104,8 @@ func (o Options) withDefaults(n int) Options {
 // initial guess on entry and the solution on exit.
 func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
 	n := a.N
-	if len(b) != n || len(x) != n {
-		return Stats{}, errors.New("krylov: dimension mismatch")
+	if err := checkSystem(n, b, x); err != nil {
+		return Stats{}, err
 	}
 	opt = opt.withDefaults(n)
 	ws := opt.workspace()
@@ -123,10 +133,13 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 			st.Converged = true
 			return st, nil
 		}
+		if err := opt.step(st.Iterations, st.RelResidual); err != nil {
+			return st, err
+		}
 		opt.matVec(a, p, ap)
 		pap := rd.Dot(p, ap)
 		if pap == 0 || math.IsNaN(pap) {
-			return st, errors.New("krylov: CG breakdown (pᵀAp = 0); matrix may not be SPD")
+			return st, breakdown("CG pᵀAp = %g; matrix may not be SPD", pap)
 		}
 		alpha := rz / pap
 		util.Axpy(alpha, p, x)
@@ -146,8 +159,8 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 // GMRES solves A·x = b with left-preconditioned restarted GMRES(m).
 func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
 	n := a.N
-	if len(b) != n || len(x) != n {
-		return Stats{}, errors.New("krylov: dimension mismatch")
+	if err := checkSystem(n, b, x); err != nil {
+		return Stats{}, err
 	}
 	opt = opt.withDefaults(n)
 	restart := opt.Restart
@@ -198,6 +211,11 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 
 		j := 0
 		for ; j < restart && st.Iterations < opt.MaxIter; j++ {
+			// g[j] is the preconditioned residual estimate entering
+			// this iteration — the value the monitor sees.
+			if err := opt.step(st.Iterations, math.Abs(g[j])/bnorm); err != nil {
+				return st, err
+			}
 			st.Iterations++
 			// w = M⁻¹ A v_j, modified Gram–Schmidt.
 			opt.matVec(a, v[j], t)
@@ -246,7 +264,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 				s -= h[i][k] * y[k]
 			}
 			if h[i][i] == 0 {
-				return st, errors.New("krylov: GMRES breakdown (singular Hessenberg)")
+				return st, breakdown("GMRES singular Hessenberg at column %d", i)
 			}
 			y[i] = s / h[i][i]
 		}

@@ -1,6 +1,8 @@
 package krylov
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -317,5 +319,115 @@ func TestWorkspaceGrowsAcrossSizes(t *testing.T) {
 			t.Fatalf("nx=%d: %v %+v", nx, err, st)
 		}
 		checkSolution(t, a, x, xTrue, 1e-6)
+	}
+}
+
+// TestTypedErrors pins the sentinel-wrapping contract of the loops:
+// dimension, non-finite rhs, and breakdown failures must all be
+// errors.Is-dispatchable.
+func TestTypedErrors(t *testing.T) {
+	a := gen.GridLaplacian(5, 5, 1, gen.Star5, 1)
+	n := a.N
+	if _, err := CG(a, Identity{}, make([]float64, 3), make([]float64, n), Options{}); !errors.Is(err, ErrDimension) {
+		t.Errorf("CG short b: %v", err)
+	}
+	bad := make([]float64, n)
+	bad[3] = math.NaN()
+	for name, f := range map[string]func() error{
+		"CG":       func() error { _, err := CG(a, Identity{}, bad, make([]float64, n), Options{}); return err },
+		"GMRES":    func() error { _, err := GMRES(a, Identity{}, bad, make([]float64, n), Options{}); return err },
+		"BiCGSTAB": func() error { _, err := BiCGSTAB(a, Identity{}, bad, make([]float64, n), Options{}); return err },
+	} {
+		if err := f(); !errors.Is(err, ErrNonFinite) {
+			t.Errorf("%s NaN rhs: %v", name, err)
+		}
+	}
+	// CG breakdown on a symmetric indefinite system: diag(1,-1) with
+	// b = (1,1) gives p^T A p = 0 immediately.
+	coo := sparse.NewCOO(2, 2, 2)
+	coo.Add(0, 0, 1)
+	coo.Add(1, 1, -1)
+	ind := coo.ToCSR()
+	if _, err := CG(ind, Identity{}, []float64{1, 1}, make([]float64, 2), Options{}); !errors.Is(err, ErrBreakdown) {
+		t.Errorf("CG indefinite: %v", err)
+	}
+}
+
+// TestContextCancellationStopsSolves proves each loop observes
+// Options.Ctx within one iteration: the monitor cancels at iteration
+// cancelAt and the solve must return ctx.Err() no later than
+// cancelAt+1 iterations.
+func TestContextCancellationStopsSolves(t *testing.T) {
+	a := gen.GridLaplacian(30, 30, 1, gen.Star5, 0.0001)
+	b, _ := problem(t, a, 13)
+	const cancelAt = 4
+	for name, f := range map[string]func(Options) (Stats, error){
+		"CG": func(o Options) (Stats, error) {
+			return CG(a, Identity{}, b, make([]float64, a.N), o)
+		},
+		"GMRES": func(o Options) (Stats, error) {
+			return GMRES(a, Identity{}, b, make([]float64, a.N), o)
+		},
+		"BiCGSTAB": func(o Options) (Stats, error) {
+			return BiCGSTAB(a, Identity{}, b, make([]float64, a.N), o)
+		},
+	} {
+		ctx, cancel := context.WithCancel(context.Background())
+		st, err := f(Options{Tol: 1e-14, Ctx: ctx, Monitor: func(info IterInfo) bool {
+			if info.Iteration == cancelAt {
+				cancel()
+			}
+			return true
+		}})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err=%v, want context.Canceled", name, err)
+		}
+		if st.Iterations > cancelAt+1 {
+			t.Errorf("%s: ran to iteration %d after cancel at %d", name, st.Iterations, cancelAt)
+		}
+	}
+}
+
+// TestMonitorObservesResidualsAndStops checks the monitor sees a
+// decreasing residual series and can stop the solve with ErrStopped.
+func TestMonitorObservesResidualsAndStops(t *testing.T) {
+	a := gen.GridLaplacian(20, 20, 1, gen.Star5, 0.5)
+	b, _ := problem(t, a, 17)
+	var seen []IterInfo
+	st, err := CG(a, Identity{}, b, make([]float64, a.N), Options{
+		Tol: 1e-10,
+		Monitor: func(info IterInfo) bool {
+			seen = append(seen, info)
+			return true
+		},
+	})
+	if err != nil || !st.Converged {
+		t.Fatalf("monitored CG: %v %+v", err, st)
+	}
+	if len(seen) != st.Iterations {
+		t.Fatalf("monitor saw %d iterations, solve ran %d", len(seen), st.Iterations)
+	}
+	for i, info := range seen {
+		if info.Iteration != i {
+			t.Fatalf("monitor iteration %d reported as %d", i, info.Iteration)
+		}
+		if info.Residual <= 0 || math.IsNaN(info.Residual) {
+			t.Fatalf("bad residual at %d: %g", i, info.Residual)
+		}
+	}
+	if seen[len(seen)-1].Residual >= seen[0].Residual {
+		t.Fatal("residual did not decrease over the solve")
+	}
+
+	st, err = BiCGSTAB(a, Identity{}, b, make([]float64, a.N), Options{
+		Tol:     1e-12,
+		Monitor: func(info IterInfo) bool { return info.Iteration < 2 },
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("BiCGSTAB monitor stop: %v", err)
+	}
+	if st.Iterations > 3 {
+		t.Fatalf("BiCGSTAB ignored monitor stop: %+v", st)
 	}
 }

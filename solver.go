@@ -1,0 +1,319 @@
+package javelin
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"javelin/internal/krylov"
+)
+
+// Method names an iterative solution method.
+type Method int
+
+// Supported methods. MethodAuto picks from the matrix structure at
+// NewSolver time: CG when the sparsity pattern is symmetric (the
+// paper's group-A setting), restarted GMRES otherwise (group B).
+const (
+	MethodAuto Method = iota
+	MethodCG
+	MethodGMRES
+	MethodBiCGSTAB
+)
+
+// String returns the conventional method name.
+func (m Method) String() string {
+	switch m {
+	case MethodAuto:
+		return "auto"
+	case MethodCG:
+		return "cg"
+	case MethodGMRES:
+		return "gmres"
+	case MethodBiCGSTAB:
+		return "bicgstab"
+	}
+	return "?"
+}
+
+// Typed solve errors. Every failing Solve returns a *SolveError
+// wrapping one of these sentinels (or the context's error), so
+// callers dispatch with errors.Is and recover the iteration stats
+// with errors.As:
+//
+//	st, err := s.Solve(ctx, b, x)
+//	switch {
+//	case errors.Is(err, javelin.ErrNotConverged): ...
+//	case errors.Is(err, context.DeadlineExceeded): ...
+//	}
+//	var se *javelin.SolveError
+//	if errors.As(err, &se) { log.Printf("stopped at iter %d", se.Stats.Iterations) }
+var (
+	// ErrNotConverged: MaxIter iterations did not reach Tol.
+	ErrNotConverged = errors.New("javelin: solve did not converge within MaxIter")
+	// ErrDimension: b or x length does not match the system.
+	ErrDimension = krylov.ErrDimension
+	// ErrNonFinite: the right-hand side contains NaN or Inf.
+	ErrNonFinite = krylov.ErrNonFinite
+	// ErrBreakdown: the Krylov recurrence broke down (e.g. CG on a
+	// non-SPD matrix, BiCGSTAB ρ = 0).
+	ErrBreakdown = krylov.ErrBreakdown
+	// ErrStopped: the WithMonitor callback returned false.
+	ErrStopped = krylov.ErrStopped
+)
+
+// IterInfo is the per-iteration snapshot passed to WithMonitor
+// callbacks: the iteration number and the method's current relative
+// residual (the preconditioned estimate inside GMRES restart cycles).
+type IterInfo = krylov.IterInfo
+
+// SolveError is the error type every failing Solve returns. It
+// carries the SolverStats at the point of failure and unwraps to the
+// underlying cause (one of the sentinel errors above, or the
+// context's error on cancellation), so both errors.Is and errors.As
+// work through it.
+type SolveError struct {
+	Method Method
+	Stats  SolverStats
+	err    error
+}
+
+// Error describes the failure with the method and iteration context.
+func (e *SolveError) Error() string {
+	return fmt.Sprintf("javelin: %s solve failed after %d iterations (relres %.3g): %v",
+		e.Method, e.Stats.Iterations, e.Stats.RelResidual, e.err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *SolveError) Unwrap() error { return e.err }
+
+// SolverOption configures a Solver at construction.
+type SolverOption func(*solverConfig)
+
+type solverConfig struct {
+	method  Method
+	tol     float64
+	maxIter int
+	restart int
+	threads int
+	runtime *Runtime
+	monitor func(IterInfo) bool
+}
+
+// WithMethod selects the iterative method (default MethodAuto: CG for
+// pattern-symmetric matrices, GMRES otherwise).
+func WithMethod(m Method) SolverOption { return func(c *solverConfig) { c.method = m } }
+
+// WithTol sets the relative-residual convergence tolerance ‖b−Ax‖/‖b‖
+// (default 1e-6, the paper's evaluation setting).
+func WithTol(tol float64) SolverOption { return func(c *solverConfig) { c.tol = tol } }
+
+// WithMaxIter bounds the iteration count (default 10·N, at least
+// 1000). Exceeding it makes Solve return ErrNotConverged.
+func WithMaxIter(n int) SolverOption { return func(c *solverConfig) { c.maxIter = n } }
+
+// WithRestart sets the GMRES restart length m (default 50). Ignored
+// by the other methods.
+func WithRestart(m int) SolverOption { return func(c *solverConfig) { c.restart = m } }
+
+// WithThreads sets the parallelism of the solver's own matrix–vector
+// products and reductions. <= 0 (the default) inherits the
+// preconditioner's thread count, or runs serially when there is no
+// preconditioner. Results are bit-identical at every thread count
+// (deterministic blocked reductions), so this is purely a performance
+// knob.
+func WithThreads(n int) SolverOption { return func(c *solverConfig) { c.threads = n } }
+
+// WithRuntime schedules the solver's parallel work on rt instead of
+// the preconditioner's runtime (or the process default). The caller
+// owns rt.
+func WithRuntime(rt *Runtime) SolverOption { return func(c *solverConfig) { c.runtime = rt } }
+
+// WithMonitor installs a per-iteration callback. It receives the
+// current IterInfo and returns whether to continue; returning false
+// stops the solve with ErrStopped. The callback runs on the solving
+// goroutine — with concurrent Solve callers it must be safe for
+// concurrent use.
+func WithMonitor(f func(IterInfo) bool) SolverOption { return func(c *solverConfig) { c.monitor = f } }
+
+// Solver is a reusable, concurrency-safe session for iterative solves
+// of one system shape: A (and optionally a Preconditioner) bound at
+// construction, then Solve called any number of times — from any
+// number of goroutines simultaneously — with per-call right-hand
+// sides. Each call draws its preconditioner-application context and
+// Krylov workspace from internal pools, so warm solves allocate
+// nothing and N concurrent callers cost N× scratch only while they
+// are actually solving.
+//
+// This is the supported entry point for serving solve traffic; the
+// free SolveCG/SolveGMRES/SolveBiCGSTAB functions (and their *With
+// variants) are deprecated wrappers over it.
+type Solver struct {
+	m      *Matrix
+	p      *Preconditioner
+	cfg    solverConfig
+	method Method // resolved, never MethodAuto
+
+	// wsPool recycles Krylov workspaces across Solve calls; the
+	// preconditioner contexts are pooled by the engine itself
+	// (core.Engine.AcquireContext).
+	wsPool sync.Pool
+}
+
+// NewSolver builds a solve session over m, preconditioned by p (nil
+// means unpreconditioned). The variadic options select the method and
+// bounds; defaults are the paper's evaluation settings (MethodAuto,
+// Tol 1e-6, MaxIter 10·N, Restart 50, threads inherited from p).
+//
+// The returned Solver is immutable and safe for unlimited concurrent
+// Solve calls. It holds no resources beyond its pools; there is
+// nothing to close (the Preconditioner's lifetime is managed
+// separately and must cover the Solver's).
+func NewSolver(m *Matrix, p *Preconditioner, opts ...SolverOption) (*Solver, error) {
+	if m == nil || m.csr == nil {
+		return nil, errors.New("javelin: NewSolver: nil matrix")
+	}
+	if m.N() != m.Cols() {
+		return nil, fmt.Errorf("%w: matrix is %d×%d, want square", ErrDimension, m.N(), m.Cols())
+	}
+	if p != nil && p.e.N() != m.N() {
+		return nil, fmt.Errorf("%w: preconditioner is %d×%d, matrix is %d×%d",
+			ErrDimension, p.e.N(), p.e.N(), m.N(), m.N())
+	}
+	s := &Solver{m: m, p: p}
+	for _, o := range opts {
+		o(&s.cfg)
+	}
+	switch s.cfg.method {
+	case MethodAuto:
+		if m.PatternSymmetric() {
+			s.method = MethodCG
+		} else {
+			s.method = MethodGMRES
+		}
+	case MethodCG, MethodGMRES, MethodBiCGSTAB:
+		s.method = s.cfg.method
+	default:
+		return nil, fmt.Errorf("javelin: NewSolver: unknown method %d", int(s.cfg.method))
+	}
+	if s.cfg.threads <= 0 {
+		if p != nil {
+			s.cfg.threads = p.e.Threads()
+		} else {
+			s.cfg.threads = 1
+		}
+	}
+	if s.cfg.runtime == nil && p != nil && s.cfg.threads > 1 {
+		s.cfg.runtime = p.e.Runtime()
+	}
+	return s, nil
+}
+
+// Method reports the resolved method (never MethodAuto).
+func (s *Solver) Method() Method { return s.method }
+
+// Solve solves A·x = b. x holds the initial guess on entry and the
+// best iterate on exit. It is safe for any number of concurrent
+// callers on one Solver, and allocation-free once the internal pools
+// are warm.
+//
+// ctx cancellation is honored between iterations: after cancel the
+// call returns within one iteration with an error satisfying
+// errors.Is(err, ctx.Err()). On any failure the returned error is a
+// *SolveError carrying the SolverStats at the stopping point;
+// non-convergence within MaxIter is reported as ErrNotConverged (x
+// still holds the best iterate, and the attached stats its residual).
+func (s *Solver) Solve(ctx context.Context, b, x []float64) (SolverStats, error) {
+	ws, _ := s.wsPool.Get().(*SolverWorkspace)
+	if ws == nil {
+		ws = krylov.NewWorkspace()
+	}
+	defer s.wsPool.Put(ws)
+	return s.solvePooledPC(ctx, ws, b, x)
+}
+
+// solvePooledPC runs a solve with the given workspace and a
+// preconditioner context drawn from the engine's pool for the
+// duration of the call (the identity when unpreconditioned). The
+// single place per-call contexts are acquired.
+func (s *Solver) solvePooledPC(ctx context.Context, ws *SolverWorkspace, b, x []float64) (SolverStats, error) {
+	var pc krylov.Preconditioner = krylov.Identity{}
+	if s.p != nil {
+		c := s.p.e.AcquireContext()
+		defer s.p.e.ReleaseContext(c)
+		pc = c
+	}
+	return s.finish(s.run(ctx, pc, ws, b, x))
+}
+
+// run dispatches to the krylov loops with the session configuration
+// and the given per-call preconditioner and workspace.
+func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWorkspace, b, x []float64) (SolverStats, error) {
+	opt := krylov.Options{
+		Tol:     s.cfg.tol,
+		MaxIter: s.cfg.maxIter,
+		Restart: s.cfg.restart,
+		Work:    ws,
+		Threads: s.cfg.threads,
+		Runtime: s.cfg.runtime,
+		Ctx:     ctx,
+		Monitor: s.cfg.monitor,
+	}
+	switch s.method {
+	case MethodGMRES:
+		return krylov.GMRES(s.m.csr, pc, b, x, opt)
+	case MethodBiCGSTAB:
+		return krylov.BiCGSTAB(s.m.csr, pc, b, x, opt)
+	default:
+		return krylov.CG(s.m.csr, pc, b, x, opt)
+	}
+}
+
+// finish converts the krylov outcome to the Solver error contract:
+// nil on convergence, a stats-carrying *SolveError otherwise.
+func (s *Solver) finish(st SolverStats, err error) (SolverStats, error) {
+	if err == nil {
+		if st.Converged {
+			return st, nil
+		}
+		err = ErrNotConverged
+	}
+	return st, &SolveError{Method: s.method, Stats: st, err: err}
+}
+
+// legacySolve backs the deprecated free functions: a throwaway Solver
+// per call, preserving the old contract (explicit Applier/Workspace
+// honored when given, non-convergence reported via Stats.Converged
+// with a nil error).
+func legacySolve(m *Matrix, p *Preconditioner, pc krylov.Preconditioner, meth Method, b, x []float64, opt SolverOptions) (SolverStats, error) {
+	threads := opt.Threads
+	if threads <= 0 {
+		threads = 1 // the old free functions never inherited engine threads
+	}
+	s, err := NewSolver(m, p,
+		WithMethod(meth), WithTol(opt.Tol), WithMaxIter(opt.MaxIter),
+		WithRestart(opt.Restart), WithThreads(threads), WithRuntime(opt.Runtime),
+		WithMonitor(opt.Monitor))
+	if err != nil {
+		return SolverStats{}, err
+	}
+	var st SolverStats
+	if pc != nil {
+		// *With variant: the caller supplies the application context.
+		ws := opt.Work
+		if ws == nil {
+			ws = krylov.NewWorkspace()
+		}
+		st, err = s.finish(s.run(opt.Ctx, pc, ws, b, x))
+	} else if opt.Work != nil {
+		// Caller-managed workspace; preconditioner context still pooled.
+		st, err = s.solvePooledPC(opt.Ctx, opt.Work, b, x)
+	} else {
+		st, err = s.Solve(opt.Ctx, b, x)
+	}
+	if err != nil && errors.Is(err, ErrNotConverged) {
+		return st, nil // old contract: report via Stats.Converged
+	}
+	return st, err
+}
