@@ -257,13 +257,14 @@ func Factorize(m *Matrix, opt Options) (*Preconditioner, error) {
 // Apply computes z ≈ A⁻¹·r (one ILU preconditioner application) in
 // the user's row ordering.
 //
-// Concurrency: the factorized engine is immutable during solves and
-// may be shared by any number of goroutines, but this convenience
-// method routes through one built-in applier, so concurrent Apply
-// calls on the same Preconditioner race with each other. For
-// concurrent application, give each goroutine its own NewApplier —
-// the appliers share all factor and schedule structures and add only
-// two length-N scratch vectors each.
+// Concurrency: the engine's symbolic state is immutable and its
+// factor values epoch-versioned (each application runs on the epoch
+// current at its entry, so concurrent Refactorize is safe), but this
+// convenience method routes through one built-in applier, so
+// concurrent Apply calls on the same Preconditioner race with each
+// other. For concurrent application, give each goroutine its own
+// NewApplier — the appliers share all factor and schedule structures
+// and add only two length-N scratch vectors each.
 func (p *Preconditioner) Apply(r, z []float64) { p.e.Apply(r, z) }
 
 // ApplyBatch applies the preconditioner to k right-hand sides at
@@ -279,8 +280,10 @@ func (p *Preconditioner) ApplyBatch(R, Z [][]float64) { p.e.ApplyBatch(R, Z) }
 // progress state, while the factorization itself stays shared and
 // read-only. Create one per goroutine with NewApplier; a single
 // Applier must not be used from two goroutines at once. An Applier
-// remains valid across Refactorize (but no solve may be in flight
-// while Refactorize runs).
+// remains valid across Refactorize, and Refactorize may run
+// concurrently with its applications: each Apply/ApplyBatch call runs
+// entirely on the factor-value epoch current at its entry and the
+// next call picks up newly published values.
 type Applier struct {
 	ctx *core.SolveContext
 }
@@ -300,8 +303,26 @@ func (a *Applier) Apply(r, z []float64) { a.ctx.Apply(r, z) }
 // concurrently with other Appliers over the same Preconditioner.
 func (a *Applier) ApplyBatch(R, Z [][]float64) { a.ctx.ApplyBatch(R, Z) }
 
+// ErrPatternMismatch is wrapped by Refactorize errors when the new
+// matrix carries an entry outside the factorized sparsity pattern.
+// Dropping such an entry silently would compute the preconditioner of
+// a different matrix with no signal; callers that legitimately feed
+// off-pattern matrices (τ-dropped refactorization) set
+// Options.AllowPatternMismatch to restore the dropping behavior.
+var ErrPatternMismatch = core.ErrPatternMismatch
+
 // Refactorize reuses the symbolic structure on new values (same
-// pattern).
+// pattern): the new matrix is scattered and factored into an inactive
+// value buffer and published atomically, so it is safe to call while
+// any number of solves — Solver.Solve calls, Applier applications —
+// are in flight, and it never waits for them. In-flight solves finish
+// on the consistent snapshot they started with; subsequent solves see
+// the new values. Concurrent Refactorize calls serialize internally.
+//
+// Entries of m outside the factorized pattern fail with an error
+// wrapping ErrPatternMismatch (unless Options.AllowPatternMismatch).
+// On any error the previous factor values remain published and solve
+// traffic continues on them.
 func (p *Preconditioner) Refactorize(m *Matrix) error { return p.e.Refactorize(m.csr) }
 
 // Method reports the lower-stage method Javelin selected.

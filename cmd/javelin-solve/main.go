@@ -116,8 +116,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	// The Solver inherits the engine's thread count and runtime, so
 	// its matvecs ride the same worker pool as the factorization.
-	s, err := javelin.NewSolver(m, p,
-		javelin.WithMethod(method), javelin.WithTol(*tol), javelin.WithMaxIter(*maxIter))
+	// -maxiter 0 means the solver default, so only that value is
+	// withheld; anything else (including negatives) is forwarded for
+	// NewSolver to validate.
+	solverOpts := []javelin.SolverOption{
+		javelin.WithMethod(method), javelin.WithTol(*tol),
+	}
+	if *maxIter != 0 {
+		solverOpts = append(solverOpts, javelin.WithMaxIter(*maxIter))
+	}
+	s, err := javelin.NewSolver(m, p, solverOpts...)
 	if err != nil {
 		return fail("solver: %v", err)
 	}

@@ -69,23 +69,49 @@
 //	opt.Work (workspace reuse)      → automatic (pooled per call)
 //
 // One Solver binds one (matrix, preconditioner) pair; build another
-// for another system. The Preconditioner must outlive the Solver and
-// Refactorize must still be externally serialized against in-flight
-// solves.
+// for another system. The Preconditioner must outlive the Solver;
+// Refactorize may run at any time, concurrently with in-flight Solve
+// calls (see the concurrency model below).
 //
 // # Concurrency model
 //
-// A factorized Preconditioner is immutable while it is being applied:
-// the factor values, permutation, level schedules, and tile plans are
-// only read by the solves. All mutable solve state lives in
-// per-caller contexts. The Solver pools those contexts automatically;
-// code that applies the preconditioner directly (outside a Solver)
-// creates its own Applier per goroutine (cheap: two length-N scratch
-// vectors plus schedule progress counters) and applies through it.
-// The Preconditioner's own Apply/ApplyBatch route through one
-// built-in applier and are therefore single-caller convenience paths.
-// Refactorize mutates the factor values and must not overlap any
-// in-flight solve.
+// The symbolic state of a factorized Preconditioner — permutation,
+// level schedules, tile plans, sparsity pattern — is immutable and
+// only read by solves. The numeric factor values are epoch-versioned:
+// Refactorize scatters and factors the new matrix into an inactive
+// value buffer (reusing all symbolic structure) and publishes it with
+// one atomic swap, so refreshing the factor never mutates values a
+// solve is reading and never waits for solve traffic to drain.
+//
+//   - A Solver.Solve call pins the epoch current when it starts and
+//     uses that one consistent snapshot for every preconditioner
+//     application of the solve — the Krylov iteration sees a fixed
+//     preconditioner even if Refactorize publishes mid-solve, and a
+//     solve that runs entirely within one epoch is bit-deterministic.
+//   - An Applier pins per application: each Apply/ApplyBatch call
+//     runs on the epoch current at its entry, and the next call picks
+//     up newly published values.
+//   - Old epochs retire once their last in-flight reader finishes;
+//     their buffers are recycled as the build target of a later
+//     Refactorize, so a refactorize-heavy steady state ping-pongs
+//     between two value buffers and allocates nothing.
+//   - A failed Refactorize (zero pivot, ErrPatternMismatch) leaves
+//     the previously published values current, so solve traffic
+//     continues on the last good factor.
+//
+// All mutable solve state lives in per-caller contexts. The Solver
+// pools those contexts automatically; code that applies the
+// preconditioner directly (outside a Solver) creates its own Applier
+// per goroutine (cheap: two length-N scratch vectors plus schedule
+// progress counters) and applies through it. The Preconditioner's own
+// Apply/ApplyBatch route through one built-in applier and are
+// therefore single-caller convenience paths (still safe, like every
+// solve path, against concurrent Refactorize).
+//
+// Refactorize rejects matrices whose sparsity leaves the factorized
+// pattern with ErrPatternMismatch instead of silently computing the
+// factor of a different matrix; τ-dropped refactorization workflows
+// set Options.AllowPatternMismatch to opt back into dropping.
 //
 // # Batched right-hand sides
 //

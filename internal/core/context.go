@@ -5,26 +5,78 @@ import (
 )
 
 // SolveContext holds the per-caller mutable state of the triangular
-// solves: permutation scratch, batch blocks, and the per-run progress
-// counters of the p2p schedules. The Engine itself is immutable during
-// solves, so any number of goroutines may apply one shared Engine
-// concurrently as long as each uses its own SolveContext (create one
-// per goroutine with NewContext). A single SolveContext must not be
-// used from two goroutines at once.
+// solves: permutation scratch, batch blocks, the per-run progress
+// counters of the p2p schedules, and the pinned factor-value epoch.
+// The engine's symbolic state is immutable during solves, so any
+// number of goroutines may apply one shared Engine concurrently as
+// long as each uses its own SolveContext (create one per goroutine
+// with NewContext, or draw one per call with AcquireContext). A
+// single SolveContext must not be used from two goroutines at once.
 //
-// Refactorize mutates the factor values and therefore must not run
-// concurrently with any context's solves.
+// Epoch semantics: every solve reads factor values from an epoch
+// snapshot, so Refactorize may run concurrently with any context's
+// solves. A context from AcquireContext pins the then-current epoch
+// for its whole acquire→release window — every solve through it sees
+// one consistent generation, which is what gives a Krylov solve a
+// fixed preconditioner even while Refactorize publishes new values
+// mid-solve. A context from NewContext pins per call instead: each
+// top-level Apply/Solve* runs entirely on the epoch current at its
+// entry and picks up newer values on the next call.
+//
+// Per-call pinning means a SEQUENCE of standalone calls — the
+// classic SolveLower-then-SolveUpper pair — can straddle a publish
+// and combine L from one generation with U from another. Apply and
+// ApplyBatch are immune (one call, one pin); callers issuing the
+// pair themselves while Refactorize may run concurrently should
+// bracket it with PinEpoch/UnpinEpoch or use an acquired context.
 type SolveContext struct {
 	e          *Engine
 	runL, runU *p2p.Run
+
+	// ep/vals is the pinned value epoch all kernels read. pins counts
+	// held window-pins — one from AcquireContext (released by
+	// ReleaseContext) plus any nested PinEpoch brackets; while it is
+	// zero, enter/exit pin around each top-level solve instead, with
+	// depth tracking re-entrancy (Apply calls SolveLower/SolveUpper).
+	ep    *epoch
+	vals  []float64
+	pins  int
+	depth int
 
 	tmp1, tmp2 []float64 // Apply permutation scratch
 	blk        []float64 // packed n×k batch scratch (lazily grown)
 }
 
+// retainedBlkRHS caps the batch scratch a released context keeps: a
+// context that served an n×k ApplyBatch would otherwise pin its n×k
+// block in the engine's pool forever, so ReleaseContext drops blk
+// when its capacity exceeds retainedBlkRHS right-hand sides' worth.
+const retainedBlkRHS = 4
+
+// enter pins the current epoch for a top-level solve on an unpinned
+// context (a no-op at re-entrant depth or under an acquire-held pin).
+func (c *SolveContext) enter() {
+	if c.depth == 0 && c.ep == nil {
+		c.ep = c.e.pinEpoch()
+		c.vals = c.ep.vals
+	}
+	c.depth++
+}
+
+// exit unwinds enter, releasing a per-call pin when the outermost
+// solve completes.
+func (c *SolveContext) exit() {
+	c.depth--
+	if c.depth == 0 && c.pins == 0 {
+		c.e.unpinEpoch(c.ep)
+		c.ep, c.vals = nil, nil
+	}
+}
+
 // NewContext creates an independent solve context over the engine.
 // Contexts are cheap (two length-N vectors plus per-run counters) and
-// reusable across any number of solves.
+// reusable across any number of solves; each solve call reads the
+// factor values current at its entry.
 func (e *Engine) NewContext() *SolveContext {
 	return &SolveContext{
 		e:    e,
@@ -40,21 +92,47 @@ func (e *Engine) NewContext() *SolveContext {
 // with ReleaseContext it lets per-call entry points (one acquire per
 // solve) reuse contexts across any number of concurrent callers
 // without allocating once the pool is warm. The returned context is
-// exclusively the caller's until released.
+// exclusively the caller's until released, and is pinned to the
+// factor-value epoch current at the acquire: every solve through it
+// uses that one consistent snapshot even if Refactorize publishes new
+// values meanwhile.
 func (e *Engine) AcquireContext() *SolveContext {
-	if c, ok := e.ctxPool.Get().(*SolveContext); ok {
-		return c
+	c, ok := e.ctxPool.Get().(*SolveContext)
+	if !ok {
+		c = e.NewContext()
 	}
-	return e.NewContext()
+	c.ep = e.pinEpoch()
+	c.vals = c.ep.vals
+	c.pins = 1
+	return c
 }
 
-// ReleaseContext returns an acquired context to the engine's pool.
-// The context must not be used after release. Contexts belonging to a
+// ReleaseContext returns an acquired context to the engine's pool,
+// unpinning its epoch (which lets a drained old generation's buffer
+// recycle) and dropping oversized batch scratch so one large
+// ApplyBatch does not pin an n×k block in the pool forever. The
+// context must not be used after release. Contexts belonging to a
 // different engine are dropped rather than pooled (a foreign context
 // would solve with the wrong factor).
 func (e *Engine) ReleaseContext(c *SolveContext) {
-	if c == nil || c.e != e {
+	if c == nil {
 		return
+	}
+	// Unpin against the context's OWN engine even on a foreign
+	// release: dropping the context without draining its pin would
+	// strand the pinned epoch's buffer in the owner's retired list
+	// forever.
+	if c.ep != nil {
+		c.e.unpinEpoch(c.ep)
+		c.ep, c.vals = nil, nil
+	}
+	c.pins = 0
+	c.depth = 0
+	if c.e != e {
+		return // foreign context: released, but never pooled here
+	}
+	if cap(c.blk) > retainedBlkRHS*e.n {
+		c.blk = nil
 	}
 	e.ctxPool.Put(c)
 }
@@ -62,9 +140,40 @@ func (e *Engine) ReleaseContext(c *SolveContext) {
 // Engine returns the engine this context applies.
 func (c *SolveContext) Engine() *Engine { return c.e }
 
+// PinEpoch pins the current factor-value epoch so that a sequence of
+// standalone solves (e.g. a SolveLower followed by a SolveUpper)
+// observes one consistent factor generation even if Refactorize
+// publishes between the calls. Pins count and nest: each PinEpoch is
+// balanced by one UnpinEpoch, and a bracket on an acquired context
+// (already pinned for its whole acquire→release window) nests inside
+// the acquire pin without disturbing it.
+func (c *SolveContext) PinEpoch() {
+	if c.ep == nil {
+		c.ep = c.e.pinEpoch()
+		c.vals = c.ep.vals
+	}
+	c.pins++
+}
+
+// UnpinEpoch releases one PinEpoch pin; once no window-pins remain,
+// subsequent solves return to pinning per call (each observing the
+// values current at its entry).
+func (c *SolveContext) UnpinEpoch() {
+	if c.pins == 0 {
+		return
+	}
+	c.pins--
+	if c.pins == 0 && c.depth == 0 && c.ep != nil {
+		c.e.unpinEpoch(c.ep)
+		c.ep, c.vals = nil, nil
+	}
+}
+
 // Apply applies the preconditioner in USER ordering: z ≈ A⁻¹ r via
 // z = P⁻¹ U⁻¹ L⁻¹ P r. r and z must have length N and may alias.
 func (c *SolveContext) Apply(r, z []float64) {
+	c.enter()
+	defer c.exit()
 	perm := c.e.split.Perm
 	perm.ApplyVec(r, c.tmp1)
 	c.SolveLower(c.tmp1, c.tmp1)
@@ -101,6 +210,8 @@ func (c *SolveContext) ApplyBatch(R, Z [][]float64) {
 		c.Apply(R[0], Z[0])
 		return
 	}
+	c.enter()
+	defer c.exit()
 	n := c.e.n
 	xb := c.ensureBlk(n * k)
 	perm := c.e.split.Perm
@@ -143,6 +254,8 @@ func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []
 	if k == 0 {
 		return
 	}
+	c.enter()
+	defer c.exit()
 	n := c.e.n
 	xb := c.ensureBlk(n * k)
 	for i := 0; i < n; i++ {
@@ -168,6 +281,7 @@ func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []
 func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
+	vals := c.vals
 	if e.opt.Threads == 1 {
 		for r := 0; r < e.n; r++ {
 			xr := xb[r*k : r*k+k]
@@ -176,7 +290,7 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 				if cc >= r {
 					break
 				}
-				v := lu.Val[p]
+				v := vals[p]
 				xc := xb[cc*k : cc*k+k]
 				for j := range xr {
 					xr[j] -= v * xc[j]
@@ -193,7 +307,7 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 			if cc >= r {
 				break
 			}
-			v := lu.Val[p]
+			v := vals[p]
 			xc := xb[cc*k : cc*k+k]
 			for j := range xr {
 				xr[j] -= v * xc[j]
@@ -212,7 +326,7 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 			sp := lp.solveSpans[si]
 			xr := xb[sp.row*k : sp.row*k+k]
 			for p := sp.kLo; p < sp.kHi; p++ {
-				v := lu.Val[p]
+				v := vals[p]
 				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
 				for j := range xr {
 					xr[j] -= v * xc[j]
@@ -232,7 +346,7 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 					break
 				}
 				if cc >= nUp {
-					v := lu.Val[p]
+					v := vals[p]
 					xc := xb[cc*k : cc*k+k]
 					for j := range xr {
 						xr[j] -= v * xc[j]
@@ -249,18 +363,19 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 func (c *SolveContext) solveUpperBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
+	vals := c.vals
 	if e.opt.Threads == 1 {
 		for r := e.n - 1; r >= 0; r-- {
 			dp := e.factor.DiagPos[r]
 			xr := xb[r*k : r*k+k]
 			for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
-				v := lu.Val[p]
+				v := vals[p]
 				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
 				for j := range xr {
 					xr[j] -= v * xc[j]
 				}
 			}
-			inv := 1 / lu.Val[dp]
+			inv := 1 / vals[dp]
 			for j := range xr {
 				xr[j] *= inv
 			}
@@ -272,13 +387,13 @@ func (c *SolveContext) solveUpperBlock(xb []float64, k int) {
 		dp := e.factor.DiagPos[r]
 		xr := xb[r*k : r*k+k]
 		for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
-			v := lu.Val[p]
+			v := vals[p]
 			xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
 			for j := range xr {
 				xr[j] -= v * xc[j]
 			}
 		}
-		inv := 1 / lu.Val[dp]
+		inv := 1 / vals[dp]
 		for j := range xr {
 			xr[j] *= inv
 		}

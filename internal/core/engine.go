@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"javelin/internal/exec"
 	"javelin/internal/ilu"
@@ -82,6 +83,17 @@ type Options struct {
 	// serially even under SR (ER always uses a serial corner, which
 	// the paper found "good enough").
 	SerialCorner bool
+	// AllowPatternMismatch makes Refactorize silently ignore entries
+	// of the new matrix that fall outside the factorized pattern
+	// instead of failing with ErrPatternMismatch. The documented use
+	// is τ-dropped refactorization workflows (ILU(τ)/ILU(k,τ)) where
+	// the application legitimately feeds matrices whose sparsity
+	// wanders off the factorized pattern and expects the excess mass
+	// to be dropped, mirroring internal/ilu.Refactorize. Leave it off
+	// for ILU(0)/ILU(k) time-stepping: there, an out-of-pattern entry
+	// means the pattern changed and the preconditioner would be
+	// silently wrong.
+	AllowPatternMismatch bool
 	// Runtime, when non-nil, is the shared persistent execution
 	// runtime the engine schedules every parallel region on —
 	// factorization stages, p2p solve sweeps, SR tile batches, and
@@ -125,16 +137,24 @@ func (o Options) withDefaults() Options {
 // symbolic structures so that Refactorize and the triangular solves
 // are cheap.
 //
-// Concurrency contract: after Factorize (or Refactorize) returns, the
-// engine is immutable during solves — the factor values, schedules,
-// split, and lower-stage plan are only read. All mutable solve state
-// lives in SolveContext objects, so N goroutines may share one Engine
-// by each creating a context with NewContext and calling its Apply /
-// ApplyBatch / SolveLower / SolveUpper. The Engine's own solve
-// methods are thin wrappers over one built-in default context and are
-// therefore NOT safe for concurrent calls with each other; they exist
-// for the common single-caller case. Refactorize mutates the factor
-// and must be externally serialized against all contexts' solves.
+// Concurrency contract: the symbolic state — pattern, schedules,
+// split, and lower-stage plan — is immutable after Factorize. The
+// numeric factor values are epoch-versioned: every solve reads from
+// the epoch its SolveContext pinned on entry, and Refactorize builds
+// the next epoch in a private buffer and publishes it with one atomic
+// swap. Consequently Refactorize may run concurrently with any number
+// of in-flight solves, without draining them: solves that already
+// started complete on their pinned snapshot, and solves that start
+// after the publish see the new values. Concurrent Refactorize calls
+// serialize against each other internally.
+//
+// All mutable solve state lives in SolveContext objects, so N
+// goroutines may share one Engine by each creating a context with
+// NewContext (or drawing one from AcquireContext) and calling its
+// Apply / ApplyBatch / SolveLower / SolveUpper. The Engine's own
+// solve methods are thin wrappers over one built-in default context
+// and are therefore NOT safe for concurrent calls with each other;
+// they exist for the common single-caller case.
 type Engine struct {
 	opt    Options
 	n      int
@@ -145,6 +165,11 @@ type Engine struct {
 	schedL *p2p.Schedule // forward deps (ILU upper stage + L-solve)
 	schedU *p2p.Schedule // backward deps on upper rows (U-solve)
 
+	// invPerm caches split.Perm.Inverse() so the per-Refactorize
+	// scatter stays allocation-free (the permutation is immutable
+	// symbolic state).
+	invPerm sparse.Perm
+
 	lower *lowerPlan
 
 	// rt executes every parallel region of the engine. Owned (and
@@ -152,6 +177,19 @@ type Engine struct {
 	rt        *exec.Runtime
 	ownRT     bool
 	closeOnce sync.Once
+
+	// cur is the published factor-value epoch. Solves pin it
+	// (pinEpoch) and read values only from the pinned snapshot;
+	// Refactorize builds the next generation off to the side and
+	// swaps it in here. See epoch.go.
+	cur atomic.Pointer[epoch]
+	// refacMu serializes Refactorize (build + publish) against
+	// itself. It is never taken on a solve path, so factor refreshes
+	// and solves proceed concurrently.
+	refacMu sync.Mutex
+	// retired holds swapped-out epochs until their readers drain and
+	// their buffers recycle; guarded by refacMu.
+	retired []*epoch
 
 	// ctxPool recycles SolveContexts between Acquire/ReleaseContext
 	// pairs so per-call solve entry points (the public Solver) stay
@@ -203,6 +241,7 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 		e.ownRT = true
 	}
 	e.method = e.resolveMethod()
+	e.invPerm = split.Perm.Inverse()
 	permPat := sparse.PermuteSymOn(e.rt, pattern, split.Perm, opt.Threads)
 
 	// Build the factor skeleton on the permuted pattern.
@@ -268,7 +307,12 @@ func (e *Engine) Method() LowerMethod { return e.method }
 // N returns the matrix dimension.
 func (e *Engine) N() int { return e.n }
 
-// Factor exposes the permuted factor (read-only use).
+// Factor exposes the permuted factor (read-only use). Its LU.Val
+// always tracks the most recently published epoch, which makes it a
+// sequential-inspection view: do not read it concurrently with
+// Refactorize, and note that a value slice captured from it is only
+// guaranteed stable until the second following Refactorize (at which
+// point the drained buffer is recycled as a build target).
 func (e *Engine) Factor() *ilu.Factor { return e.factor }
 
 // Split exposes the two-stage partition.

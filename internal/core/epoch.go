@@ -1,0 +1,94 @@
+package core
+
+import "sync/atomic"
+
+// epoch is one published generation of factor values. The symbolic
+// structure of the factorization — pattern, diagonal positions, p2p
+// schedules, split, lower plan — is pattern-only and shared by every
+// epoch; an epoch owns nothing but the numeric value array those
+// structures index into.
+//
+// Lifecycle: Refactorize builds the next generation in a buffer no
+// reader can see, then publishes it with one atomic pointer swap
+// (Engine.cur). Solves pin the current epoch before reading any value
+// and unpin when done, so an in-flight solve keeps reading the exact
+// generation it started on while later acquires observe the new one.
+// A swapped-out epoch is retired; once its reader count drains to
+// zero its buffer is recycled as the build target of a subsequent
+// Refactorize, so a refactorize-heavy steady state ping-pongs between
+// two value buffers and never allocates.
+type epoch struct {
+	vals []float64
+	// refs counts pinned readers. A retired epoch is reusable only at
+	// zero; the current epoch's count is transiently wrong-by-one
+	// during pinEpoch's validation window, which is harmless because
+	// the current epoch is never a recycling candidate.
+	refs atomic.Int64
+}
+
+// pinEpoch returns the current epoch with one reader reference held.
+// The increment-then-validate loop closes the race against a
+// concurrent publish: if the epoch was swapped out between the load
+// and the increment, its buffer may already be a refactorization
+// build target, so the reference is dropped without ever touching
+// vals and the pin retries on the new current epoch. Publication
+// order guarantees a validated epoch's values are fully written.
+func (e *Engine) pinEpoch() *epoch {
+	for {
+		ep := e.cur.Load()
+		ep.refs.Add(1)
+		if e.cur.Load() == ep {
+			return ep
+		}
+		ep.refs.Add(-1)
+	}
+}
+
+// unpinEpoch releases one reader reference.
+func (e *Engine) unpinEpoch(ep *epoch) {
+	if ep != nil {
+		ep.refs.Add(-1)
+	}
+}
+
+// grabValues returns a value buffer that no reader can observe, for
+// Refactorize to build the next epoch in. Preference order: a drained
+// retired buffer (the steady-state recycle), the factor skeleton's
+// own array before the first publication, then a fresh allocation
+// when every retired buffer is still pinned by an in-flight solve —
+// Refactorize never waits for readers. Caller holds refacMu.
+func (e *Engine) grabValues() []float64 {
+	for i, ep := range e.retired {
+		if ep.refs.Load() == 0 {
+			last := len(e.retired) - 1
+			e.retired[i] = e.retired[last]
+			e.retired[last] = nil
+			e.retired = e.retired[:last]
+			return ep.vals
+		}
+	}
+	if e.cur.Load() == nil {
+		return e.factor.LU.Val
+	}
+	return make([]float64, len(e.factor.LU.Val))
+}
+
+// publishValues makes vals the current epoch. The previous epoch is
+// retired (its buffer recycles once its readers drain). The factor
+// skeleton's Val is repointed so Engine.Factor() exposes the newest
+// generation to sequential inspection. Caller holds refacMu.
+func (e *Engine) publishValues(vals []float64) {
+	ep := &epoch{vals: vals}
+	if old := e.cur.Swap(ep); old != nil {
+		e.retired = append(e.retired, old)
+	}
+	e.factor.LU.Val = vals
+}
+
+// recycleValues returns an unpublished build buffer to the retired
+// pool after a failed refactorization, so the next attempt reuses it.
+// The previously published epoch stays current and untouched. Caller
+// holds refacMu.
+func (e *Engine) recycleValues(vals []float64) {
+	e.retired = append(e.retired, &epoch{vals: vals})
+}

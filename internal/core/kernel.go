@@ -16,12 +16,14 @@ const pivotFloor = 1e-300
 // update walk is a sorted two-pointer merge between row r and U-row j,
 // so the kernel needs no dense scratch and is safe to run on many
 // rows concurrently as long as each row is owned by one goroutine.
+// f supplies only the symbolic structure; the numeric values read and
+// written live in vals, the epoch buffer being built.
 //
 // The returned comp accumulates MILU compensation (updates whose
 // target column is absent from row r's pattern); callers add it to
 // the diagonal in finishRow. comp is always computed; it is ignored
 // unless Options.Modified.
-func eliminatePivots(f *ilu.Factor, r, pivotLo, pivotHi int) (comp float64, err error) {
+func eliminatePivots(f *ilu.Factor, vals []float64, r, pivotLo, pivotHi int) (comp float64, err error) {
 	lu := f.LU
 	lo, hi := lu.RowPtr[r], lu.RowPtr[r+1]
 	limit := pivotHi
@@ -36,12 +38,12 @@ func eliminatePivots(f *ilu.Factor, r, pivotLo, pivotHi int) (comp float64, err 
 		if j < pivotLo {
 			continue
 		}
-		piv := lu.Val[f.DiagPos[j]]
+		piv := vals[f.DiagPos[j]]
 		if math.Abs(piv) < pivotFloor {
 			return comp, fmt.Errorf("%w at column %d (row %d)", ilu.ErrZeroPivot, j, r)
 		}
-		lij := lu.Val[k] / piv
-		lu.Val[k] = lij
+		lij := vals[k] / piv
+		vals[k] = lij
 		// Merge U-row j (cols > j) into row r (entries after k).
 		kk := f.DiagPos[j] + 1
 		ujEnd := lu.RowPtr[j+1]
@@ -52,10 +54,10 @@ func eliminatePivots(f *ilu.Factor, r, pivotLo, pivotHi int) (comp float64, err 
 				k2++
 			}
 			if k2 < hi && lu.ColIdx[k2] == uc {
-				lu.Val[k2] -= lij * lu.Val[kk]
+				vals[k2] -= lij * vals[kk]
 				k2++
 			} else {
-				comp -= lij * lu.Val[kk]
+				comp -= lij * vals[kk]
 			}
 			kk++
 		}
@@ -64,17 +66,17 @@ func eliminatePivots(f *ilu.Factor, r, pivotLo, pivotHi int) (comp float64, err 
 }
 
 // finishRow applies τ dropping and MILU compensation to a fully
-// eliminated row and verifies the pivot. Under MILU it also records
-// the U-row sum; dependency ordering (p2p or group barriers)
+// eliminated row in vals and verifies the pivot. Under MILU it also
+// records the U-row sum; dependency ordering (p2p or group barriers)
 // guarantees rowSumU of referenced earlier rows is already final.
-func (e *Engine) finishRow(r int, comp float64) error {
+func (e *Engine) finishRow(vals []float64, r int, comp float64) error {
 	lu := e.factor.LU
 	lo, hi := lu.RowPtr[r], lu.RowPtr[r+1]
 	dp := e.factor.DiagPos[r]
 	if e.opt.DropTol > 0 {
 		mx := 0.0
 		for k := lo; k < hi; k++ {
-			if v := math.Abs(lu.Val[k]); v > mx {
+			if v := math.Abs(vals[k]); v > mx {
 				mx = v
 			}
 		}
@@ -83,7 +85,7 @@ func (e *Engine) finishRow(r int, comp float64) error {
 			if k == dp {
 				continue
 			}
-			if v := lu.Val[k]; math.Abs(v) < thresh {
+			if v := vals[k]; math.Abs(v) < thresh {
 				if e.opt.Modified {
 					if c := lu.ColIdx[k]; c < r {
 						// Dropped L entry: product row r loses
@@ -93,20 +95,20 @@ func (e *Engine) finishRow(r int, comp float64) error {
 						comp += v
 					}
 				}
-				lu.Val[k] = 0
+				vals[k] = 0
 			}
 		}
 	}
 	if e.opt.Modified {
-		lu.Val[dp] += comp
+		vals[dp] += comp
 	}
-	if math.Abs(lu.Val[dp]) < pivotFloor {
+	if math.Abs(vals[dp]) < pivotFloor {
 		return fmt.Errorf("%w at row %d", ilu.ErrZeroPivot, r)
 	}
 	if e.opt.Modified {
 		s := 0.0
 		for k := dp; k < hi; k++ {
-			s += lu.Val[k]
+			s += vals[k]
 		}
 		e.rowSumU[r] = s
 	}

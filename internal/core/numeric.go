@@ -5,74 +5,120 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"javelin/internal/ilu"
 	"javelin/internal/sparse"
 )
+
+// ErrPatternMismatch is returned (wrapped, with the offending entry's
+// user-ordering coordinates) when Refactorize is given a matrix with
+// an entry outside the factorized pattern. Set
+// Options.AllowPatternMismatch to opt out for τ-dropped
+// refactorization workflows.
+var ErrPatternMismatch = ilu.ErrPatternMismatch
 
 // Refactorize re-runs the numeric factorization on fresh values from
 // a (same pattern as the matrix originally factorized), reusing every
 // symbolic structure — the common case for time-stepping applications
 // where the preconditioner is rebuilt but the pattern is fixed.
+//
+// Refactorize is safe to call concurrently with any number of
+// in-flight solves and never waits for them: the new values are
+// scattered and factored into an inactive epoch buffer and published
+// with one atomic swap. Solves already in flight complete on the
+// consistent snapshot they pinned at entry; solves that begin after
+// Refactorize returns see the new values. Concurrent Refactorize
+// calls serialize against each other.
+//
+// Entries of a that fall outside the factorized pattern fail with an
+// error wrapping ErrPatternMismatch unless Options.AllowPatternMismatch
+// was set. On any error the previously published factor remains
+// current and intact, so solve traffic continues on the last good
+// values.
 func (e *Engine) Refactorize(a *sparse.CSR) error {
 	if a.N != e.n || a.M != e.n {
 		return errors.New("core: Refactorize dimension mismatch")
 	}
-	e.scatter(a)
+	e.refacMu.Lock()
+	defer e.refacMu.Unlock()
+	vals := e.grabValues()
+	if err := e.scatter(a, vals); err != nil {
+		e.recycleValues(vals)
+		return err
+	}
 	if e.lower != nil {
 		for i := range e.lower.comp {
 			e.lower.comp[i] = 0
 		}
 	}
-	if err := e.factorUpper(); err != nil {
+	err := e.factorUpper(vals)
+	if err == nil {
+		switch e.method {
+		case LowerNone:
+			// nothing: no lower rows
+		case LowerER:
+			err = e.factorLowerER(vals)
+		case LowerSR:
+			err = e.factorLowerSR(vals)
+		default:
+			err = fmt.Errorf("core: unresolved lower method %v", e.method)
+		}
+	}
+	if err != nil {
+		e.recycleValues(vals)
 		return err
 	}
-	switch e.method {
-	case LowerNone:
-		// nothing: no lower rows
-	case LowerER:
-		if err := e.factorLowerER(); err != nil {
-			return err
-		}
-	case LowerSR:
-		if err := e.factorLowerSR(); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("core: unresolved lower method %v", e.method)
-	}
+	e.publishValues(vals)
 	return nil
 }
 
-// scatter copies a's values into the permuted factor skeleton in
-// parallel (the paper's copy-with-first-touch step).
-func (e *Engine) scatter(a *sparse.CSR) {
+// scatter copies a's values into the epoch build buffer on the
+// permuted factor pattern in parallel (the paper's copy-with-
+// first-touch step). An entry of a absent from the pattern is a
+// pattern mismatch: scattering would silently drop it and the
+// factorization would condemn a different matrix than the caller
+// passed, so the first such entry is reported as an error unless
+// Options.AllowPatternMismatch permits dropping (τ-refactorization).
+func (e *Engine) scatter(a *sparse.CSR, vals []float64) error {
 	lu := e.factor.LU
 	perm := e.split.Perm
-	inv := perm.Inverse()
+	inv := e.invPerm
+	allow := e.opt.AllowPatternMismatch
+	var mismatch atomic.Value
 	e.rt.For(e.n, e.opt.Threads, func(newI int) {
 		lo, hi := lu.RowPtr[newI], lu.RowPtr[newI+1]
 		for k := lo; k < hi; k++ {
-			lu.Val[k] = 0
+			vals[k] = 0
 		}
 		lcols := lu.ColIdx[lo:hi]
 		oldI := perm[newI]
-		cols, vals := a.Row(oldI)
+		cols, avals := a.Row(oldI)
 		for k, j := range cols {
 			if p := searchRow(lcols, inv[j]); p >= 0 {
-				lu.Val[lo+p] = vals[k]
+				vals[lo+p] = avals[k]
+			} else if !allow && mismatch.Load() == nil {
+				// Only the first miss is reported; a genuinely changed
+				// pattern can have millions, and building an error per
+				// entry would make the failure path itself expensive.
+				mismatch.CompareAndSwap(nil, fmt.Errorf(
+					"%w: entry (%d,%d) of the refactorization input", ErrPatternMismatch, oldI, j)) //nolint:errcheck
 			}
 		}
 	})
+	if v := mismatch.Load(); v != nil {
+		return v.(error)
+	}
+	return nil
 }
 
 // factorUpper runs the upper stage: up-looking elimination of rows
 // [0, NUpper) driven by the p2p schedule. Each row is fully
 // eliminated (its dependencies are all upper rows) and finished.
-func (e *Engine) factorUpper() error {
+func (e *Engine) factorUpper(vals []float64) error {
 	var firstErr atomic.Value
 	e.schedL.Run(func(r int) {
-		comp, err := eliminatePivots(e.factor, r, 0, r)
+		comp, err := eliminatePivots(e.factor, vals, r, 0, r)
 		if err == nil {
-			err = e.finishRow(r, comp)
+			err = e.finishRow(vals, r, comp)
 		}
 		if err != nil {
 			// Record the first error; later rows may divide by a bad
@@ -91,7 +137,7 @@ func (e *Engine) factorUpper() error {
 // live in the upper stage (those rows are final); phase 2 factors the
 // corner serially in ascending row order, preserving exact up-looking
 // arithmetic order.
-func (e *Engine) factorLowerER() error {
+func (e *Engine) factorLowerER(vals []float64) error {
 	nUp, n := e.split.NUpper, e.n
 	nLower := n - nUp
 	if nLower == 0 {
@@ -103,7 +149,7 @@ func (e *Engine) factorLowerER() error {
 	// OpenMP DYNAMIC/CHUNK_SIZE=1 configuration).
 	e.rt.ForDynamic(nLower, e.opt.Threads, 1, func(i int) {
 		r := nUp + i
-		comp, err := eliminatePivots(e.factor, r, 0, nUp)
+		comp, err := eliminatePivots(e.factor, vals, r, 0, nUp)
 		if err != nil {
 			firstErr.CompareAndSwap(nil, err) //nolint:errcheck
 			return
@@ -115,11 +161,11 @@ func (e *Engine) factorLowerER() error {
 	}
 	// Phase 2: FACTOR_LU on the corner, serial.
 	for r := nUp; r < n; r++ {
-		comp, err := eliminatePivots(e.factor, r, nUp, r)
+		comp, err := eliminatePivots(e.factor, vals, r, nUp, r)
 		if err != nil {
 			return err
 		}
-		if err := e.finishRow(r, comp+comps[r-nUp]); err != nil {
+		if err := e.finishRow(vals, r, comp+comps[r-nUp]); err != nil {
 			return err
 		}
 	}
@@ -133,7 +179,7 @@ func (e *Engine) factorLowerER() error {
 // processed as DIVIDE tiles followed by row-partitioned UPDATE tiles
 // on the task pool, and finally the corner is factored level-group by
 // level-group (or serially under Options.SerialCorner).
-func (e *Engine) factorLowerSR() error {
+func (e *Engine) factorLowerSR(vals []float64) error {
 	lp := e.lower
 	if lp == nil || e.split.NLower() == 0 {
 		return nil
@@ -155,12 +201,12 @@ func (e *Engine) factorLowerSR() error {
 				sp := lvl.spans[si]
 				for k := sp.kLo; k < sp.kHi; k++ {
 					j := lu.ColIdx[k]
-					piv := lu.Val[e.factor.DiagPos[j]]
+					piv := vals[e.factor.DiagPos[j]]
 					if piv == 0 || piv < pivotFloor && piv > -pivotFloor {
 						recordErr(fmt.Errorf("core: SR zero pivot at column %d", j))
 						return
 					}
-					lu.Val[k] /= piv
+					vals[k] /= piv
 				}
 			}
 		})
@@ -173,7 +219,7 @@ func (e *Engine) factorLowerSR() error {
 		e.runTiles(lvl.updTiles, func(t tileRange) {
 			for si := t.lo; si < t.hi; si++ {
 				sp := lvl.spans[si]
-				comp := applyUpdates(e, sp)
+				comp := applyUpdates(e, vals, sp)
 				if e.opt.Modified {
 					e.lower.comp[sp.row-e.split.NUpper] += comp
 				}
@@ -182,18 +228,18 @@ func (e *Engine) factorLowerSR() error {
 	}
 
 	// FACTOR_LU on the corner.
-	return e.factorCorner()
+	return e.factorCorner(vals)
 }
 
 // applyUpdates subtracts, for each already-divided pivot entry in the
 // span, lij × U-row(j) from row sp.row (merge walk), mirroring the
 // second half of eliminatePivots.
-func applyUpdates(e *Engine, sp rowSpan) (comp float64) {
+func applyUpdates(e *Engine, vals []float64, sp rowSpan) (comp float64) {
 	lu := e.factor.LU
 	hi := lu.RowPtr[sp.row+1]
 	for k := sp.kLo; k < sp.kHi; k++ {
 		j := lu.ColIdx[k]
-		lij := lu.Val[k]
+		lij := vals[k]
 		kk := e.factor.DiagPos[j] + 1
 		ujEnd := lu.RowPtr[j+1]
 		k2 := k + 1
@@ -203,10 +249,10 @@ func applyUpdates(e *Engine, sp rowSpan) (comp float64) {
 				k2++
 			}
 			if k2 < hi && lu.ColIdx[k2] == uc {
-				lu.Val[k2] -= lij * lu.Val[kk]
+				vals[k2] -= lij * vals[kk]
 				k2++
 			} else {
-				comp -= lij * lu.Val[kk]
+				comp -= lij * vals[kk]
 			}
 			kk++
 		}
@@ -218,15 +264,15 @@ func applyUpdates(e *Engine, sp rowSpan) (comp float64) {
 // grouped by their original level; rows within a group are mutually
 // independent under the lower(A+Aᵀ) order, so each group runs in
 // parallel with a barrier between groups — unless SerialCorner.
-func (e *Engine) factorCorner() error {
+func (e *Engine) factorCorner(vals []float64) error {
 	nUp, n := e.split.NUpper, e.n
 	if e.opt.SerialCorner || e.split.NumLowerLevels() <= 1 && n-nUp <= 64 {
 		for r := nUp; r < n; r++ {
-			comp, err := eliminatePivots(e.factor, r, nUp, r)
+			comp, err := eliminatePivots(e.factor, vals, r, nUp, r)
 			if err != nil {
 				return err
 			}
-			if err := e.finishRow(r, comp+e.lower.comp[r-nUp]); err != nil {
+			if err := e.finishRow(vals, r, comp+e.lower.comp[r-nUp]); err != nil {
 				return err
 			}
 		}
@@ -238,9 +284,9 @@ func (e *Engine) factorCorner() error {
 		hi := nUp + e.split.LowerLvlPtr[g+1]
 		e.rt.ForDynamic(hi-lo, e.opt.Threads, 1, func(i int) {
 			r := lo + i
-			comp, err := eliminatePivots(e.factor, r, nUp, r)
+			comp, err := eliminatePivots(e.factor, vals, r, nUp, r)
 			if err == nil {
-				err = e.finishRow(r, comp+e.lower.comp[r-nUp])
+				err = e.finishRow(vals, r, comp+e.lower.comp[r-nUp])
 			}
 			if err != nil {
 				firstErr.CompareAndSwap(nil, err) //nolint:errcheck

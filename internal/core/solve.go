@@ -30,9 +30,17 @@ func (e *Engine) ApplyBatch(R, Z [][]float64) { e.defCtx.ApplyBatch(R, Z) }
 // p2p schedule as factorization; lower-stage rows then perform an
 // spmv-like tiled sweep against the already-computed upper x, and the
 // corner is solved group-parallel.
+//
+// On an unpinned context each call pins the current epoch for its
+// own duration only; when pairing SolveLower with SolveUpper under
+// concurrent Refactorize, bracket the pair with PinEpoch/UnpinEpoch
+// so both halves use one factor generation.
 func (c *SolveContext) SolveLower(b, x []float64) {
+	c.enter()
+	defer c.exit()
 	e := c.e
 	lu := e.factor.LU
+	vals := c.vals
 	if &b[0] != &x[0] {
 		copy(x, b)
 	}
@@ -46,7 +54,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 				if c >= r {
 					break
 				}
-				s -= lu.Val[k] * x[c]
+				s -= vals[k] * x[c]
 			}
 			x[r] = s
 		}
@@ -61,7 +69,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 			if c >= r {
 				break
 			}
-			s -= lu.Val[k] * x[c]
+			s -= vals[k] * x[c]
 		}
 		x[r] = s
 	})
@@ -77,7 +85,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 			sp := lp.solveSpans[si]
 			s := 0.0
 			for k := sp.kLo; k < sp.kHi; k++ {
-				s += lu.Val[k] * x[lu.ColIdx[k]]
+				s += vals[k] * x[lu.ColIdx[k]]
 			}
 			x[sp.row] -= s
 		}
@@ -95,7 +103,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 					break
 				}
 				if c >= nUp {
-					s -= lu.Val[k] * x[c]
+					s -= vals[k] * x[c]
 				}
 			}
 			x[r] = s
@@ -106,10 +114,14 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 // SolveUpper solves U·x = b on the permuted indexing (b, x length N,
 // may alias). The traversal order mirrors SolveLower reversed: the
 // corner is solved first (groups descending), then the upper-stage
-// rows under the backward p2p schedule.
+// rows under the backward p2p schedule. See SolveLower's note on
+// PinEpoch when pairing the two under concurrent Refactorize.
 func (c *SolveContext) SolveUpper(b, x []float64) {
+	c.enter()
+	defer c.exit()
 	e := c.e
 	lu := e.factor.LU
+	vals := c.vals
 	if &b[0] != &x[0] {
 		copy(x, b)
 	}
@@ -118,9 +130,9 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 			dp := e.factor.DiagPos[r]
 			s := x[r]
 			for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
-				s -= lu.Val[k] * x[lu.ColIdx[k]]
+				s -= vals[k] * x[lu.ColIdx[k]]
 			}
-			x[r] = s / lu.Val[dp]
+			x[r] = s / vals[dp]
 		}
 		return
 	}
@@ -133,9 +145,9 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 				dp := e.factor.DiagPos[r]
 				s := x[r]
 				for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
-					s -= lu.Val[k] * x[lu.ColIdx[k]]
+					s -= vals[k] * x[lu.ColIdx[k]]
 				}
-				x[r] = s / lu.Val[dp]
+				x[r] = s / vals[dp]
 			})
 		}
 	}
@@ -143,9 +155,9 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 		dp := e.factor.DiagPos[r]
 		s := x[r]
 		for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
-			s -= lu.Val[k] * x[lu.ColIdx[k]]
+			s -= vals[k] * x[lu.ColIdx[k]]
 		}
-		x[r] = s / lu.Val[dp]
+		x[r] = s / vals[dp]
 	})
 }
 

@@ -34,6 +34,15 @@ func (f *Factor) N() int { return f.LU.N }
 // tiny pivot; ILU here performs no pivoting (paper Section III).
 var ErrZeroPivot = errors.New("ilu: zero or near-zero pivot")
 
+// ErrPatternMismatch is wrapped by refactorization errors when the
+// new matrix carries an entry outside the factorized sparsity
+// pattern. Silently dropping such an entry would compute a
+// preconditioner of a different matrix with no signal, so the strict
+// paths (core.Engine.Refactorize by default) detect it and fail;
+// τ-dropped refactorization workflows opt out (the package-level
+// Refactorize here stays lenient for exactly that use).
+var ErrPatternMismatch = errors.New("ilu: matrix entry outside the factorized pattern")
+
 // pivotFloor guards divisions; pivots smaller in magnitude fail.
 const pivotFloor = 1e-300
 
@@ -223,7 +232,13 @@ func FactorizeWithPattern(a *sparse.CSR, pat *sparse.CSR, opt Options) (*Factor,
 
 // Refactorize re-runs the numeric phase of f on new values from a,
 // reusing the symbolic structure (the common use in time-stepping
-// simulations). a must have a pattern contained in f's pattern.
+// simulations). a should have a pattern contained in f's pattern;
+// entries outside it are deliberately IGNORED rather than rejected,
+// because τ-dropped refactorization legitimately feeds matrices whose
+// sparsity wanders off the retained pattern. Callers that need the
+// strict contract (out-of-pattern input is an error) should go
+// through core.Engine.Refactorize, which reports ErrPatternMismatch
+// unless its opt-out is set.
 func Refactorize(f *Factor, a *sparse.CSR, opt Options) error {
 	for i := range f.LU.Val {
 		f.LU.Val[i] = 0

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 
 	"javelin/internal/krylov"
@@ -99,6 +100,14 @@ type solverConfig struct {
 	threads int
 	runtime *Runtime
 	monitor func(IterInfo) bool
+	// errs collects invalid option values; NewSolver reports them
+	// instead of letting a nonsensical bound misbehave mid-solve
+	// (Tol NaN never converges, MaxIter 0 "succeeds" instantly, ...).
+	errs []error
+}
+
+func (c *solverConfig) badOption(format string, args ...any) {
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
 }
 
 // WithMethod selects the iterative method (default MethodAuto: CG for
@@ -106,24 +115,62 @@ type solverConfig struct {
 func WithMethod(m Method) SolverOption { return func(c *solverConfig) { c.method = m } }
 
 // WithTol sets the relative-residual convergence tolerance ‖b−Ax‖/‖b‖
-// (default 1e-6, the paper's evaluation setting).
-func WithTol(tol float64) SolverOption { return func(c *solverConfig) { c.tol = tol } }
+// (default 1e-6, the paper's evaluation setting). The tolerance must
+// be a positive finite number; zero, negative, NaN, or +Inf values
+// make NewSolver fail (a NaN tolerance can never be reached and would
+// silently spin every solve to MaxIter; an infinite one is reached
+// instantly and would "converge" without doing any work).
+func WithTol(tol float64) SolverOption {
+	return func(c *solverConfig) {
+		if tol <= 0 || math.IsNaN(tol) || math.IsInf(tol, 1) {
+			c.badOption("WithTol(%v): tolerance must be a positive finite number", tol)
+			return
+		}
+		c.tol = tol
+	}
+}
 
 // WithMaxIter bounds the iteration count (default 10·N, at least
-// 1000). Exceeding it makes Solve return ErrNotConverged.
-func WithMaxIter(n int) SolverOption { return func(c *solverConfig) { c.maxIter = n } }
+// 1000). Exceeding it makes Solve return ErrNotConverged. The bound
+// must be positive; zero or negative values make NewSolver fail.
+func WithMaxIter(n int) SolverOption {
+	return func(c *solverConfig) {
+		if n <= 0 {
+			c.badOption("WithMaxIter(%d): iteration bound must be positive", n)
+			return
+		}
+		c.maxIter = n
+	}
+}
 
 // WithRestart sets the GMRES restart length m (default 50). Ignored
-// by the other methods.
-func WithRestart(m int) SolverOption { return func(c *solverConfig) { c.restart = m } }
+// by the other methods. The length must be positive; zero or negative
+// values make NewSolver fail.
+func WithRestart(m int) SolverOption {
+	return func(c *solverConfig) {
+		if m <= 0 {
+			c.badOption("WithRestart(%d): restart length must be positive", m)
+			return
+		}
+		c.restart = m
+	}
+}
 
 // WithThreads sets the parallelism of the solver's own matrix–vector
-// products and reductions. <= 0 (the default) inherits the
+// products and reductions. 0 (the default) inherits the
 // preconditioner's thread count, or runs serially when there is no
-// preconditioner. Results are bit-identical at every thread count
-// (deterministic blocked reductions), so this is purely a performance
-// knob.
-func WithThreads(n int) SolverOption { return func(c *solverConfig) { c.threads = n } }
+// preconditioner; negative values make NewSolver fail. Results are
+// bit-identical at every thread count (deterministic blocked
+// reductions), so this is purely a performance knob.
+func WithThreads(n int) SolverOption {
+	return func(c *solverConfig) {
+		if n < 0 {
+			c.badOption("WithThreads(%d): thread count must not be negative", n)
+			return
+		}
+		c.threads = n
+	}
+}
 
 // WithRuntime schedules the solver's parallel work on rt instead of
 // the preconditioner's runtime (or the process default). The caller
@@ -184,6 +231,9 @@ func NewSolver(m *Matrix, p *Preconditioner, opts ...SolverOption) (*Solver, err
 	s := &Solver{m: m, p: p}
 	for _, o := range opts {
 		o(&s.cfg)
+	}
+	if len(s.cfg.errs) > 0 {
+		return nil, fmt.Errorf("javelin: NewSolver: %w", errors.Join(s.cfg.errs...))
 	}
 	switch s.cfg.method {
 	case MethodAuto:
@@ -291,10 +341,25 @@ func legacySolve(m *Matrix, p *Preconditioner, pc krylov.Preconditioner, meth Me
 	if threads <= 0 {
 		threads = 1 // the old free functions never inherited engine threads
 	}
-	s, err := NewSolver(m, p,
-		WithMethod(meth), WithTol(opt.Tol), WithMaxIter(opt.MaxIter),
-		WithRestart(opt.Restart), WithThreads(threads), WithRuntime(opt.Runtime),
-		WithMonitor(opt.Monitor))
+	// The old SolverOptions contract treats non-positive bounds as
+	// "use the default", so those are withheld rather than tripping
+	// NewSolver's validation. A NaN/Inf tolerance is forwarded: it
+	// was never a documented default spelling, and a descriptive
+	// construction error beats the old silent spin to MaxIter.
+	opts := []SolverOption{
+		WithMethod(meth), WithThreads(threads),
+		WithRuntime(opt.Runtime), WithMonitor(opt.Monitor),
+	}
+	if opt.Tol > 0 || math.IsNaN(opt.Tol) {
+		opts = append(opts, WithTol(opt.Tol))
+	}
+	if opt.MaxIter > 0 {
+		opts = append(opts, WithMaxIter(opt.MaxIter))
+	}
+	if opt.Restart > 0 {
+		opts = append(opts, WithRestart(opt.Restart))
+	}
+	s, err := NewSolver(m, p, opts...)
 	if err != nil {
 		return SolverStats{}, err
 	}
