@@ -264,7 +264,7 @@ func Factorize(m *Matrix, opt Options) (*Preconditioner, error) {
 // concurrent Apply calls on the same Preconditioner race with each
 // other. For concurrent application, give each goroutine its own
 // NewApplier — the appliers share all factor and schedule structures
-// and add only two length-N scratch vectors each.
+// and add only one length-N scratch vector each.
 func (p *Preconditioner) Apply(r, z []float64) { p.e.Apply(r, z) }
 
 // ApplyBatch applies the preconditioner to k right-hand sides at
@@ -289,7 +289,7 @@ type Applier struct {
 }
 
 // NewApplier creates an independent applier over the shared
-// factorization (cheap: two length-N vectors plus progress counters).
+// factorization (cheap: one length-N vector plus progress counters).
 func (p *Preconditioner) NewApplier() *Applier {
 	return &Applier{ctx: p.e.NewContext()}
 }

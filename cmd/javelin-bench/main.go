@@ -7,6 +7,7 @@
 //	javelin-bench -exp fig10 -threads 1,2,4,8 -matrices wang3,scircuit
 //	javelin-bench -json -scale 0.02 -threads 1,2 > BENCH_now.json
 //	javelin-bench -json -stats -scale 0.02 -threads 1,2 -matrices wang3
+//	javelin-bench -compare BENCH_pr5.json -scale 0.02 -threads 1,2
 //
 // Experiments: table1, table2, table3, table4, fig9, fig10, fig11,
 // fig12, fig13, all. Figures 10 and 11 are the same strong-scaling
@@ -18,6 +19,13 @@
 // refactorization and preconditioner application across the thread
 // sweep — the format the repository's BENCH_*.json perf trajectory
 // files use.
+//
+// -compare re-measures with the current flags and prints per-record
+// new/old time ratios against a committed BENCH_*.json baseline
+// (either JSON shape). The exit status is nonzero when any matched
+// record runs slower than -threshold times its baseline, so the mode
+// can gate perf in CI; records only one side has are listed but never
+// fail the run.
 //
 // -stats runs every engine on one shared execution runtime (sized to
 // the widest thread count in the sweep) and reports its activity
@@ -48,13 +56,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("javelin-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		exp      = fs.String("exp", "all", "experiment: table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|all")
-		scale    = fs.Float64("scale", 0.05, "suite scale factor in (0,1]; 1.0 = paper-size matrices")
-		threads  = fs.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
-		repeats  = fs.Int("repeats", 3, "timing repetitions (best-of)")
-		matrices = fs.String("matrices", "", "comma-separated Table-I names to include (default all)")
-		jsonOut  = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
-		stats    = fs.Bool("stats", false, "run on one shared runtime and report its activity counters")
+		exp       = fs.String("exp", "all", "experiment: table1|table2|table3|table4|fig9|fig10|fig11|fig12|fig13|all")
+		scale     = fs.Float64("scale", 0.05, "suite scale factor in (0,1]; 1.0 = paper-size matrices")
+		threads   = fs.String("threads", "", "comma-separated thread counts (default 1,2,4,...,GOMAXPROCS)")
+		repeats   = fs.Int("repeats", 3, "timing repetitions (best-of)")
+		matrices  = fs.String("matrices", "", "comma-separated Table-I names to include (default all)")
+		jsonOut   = fs.Bool("json", false, "emit machine-readable JSON records instead of tables")
+		stats     = fs.Bool("stats", false, "run on one shared runtime and report its activity counters")
+		compare   = fs.String("compare", "", "BENCH_*.json baseline: re-measure and print per-record new/old ratios")
+		threshold = fs.Float64("threshold", 1.5, "with -compare, exit nonzero when any ratio exceeds this")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -95,6 +105,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 		defer rt.Close()
 		cfg.Runtime = rt
 		cfg.Stats = true
+	}
+
+	if *compare != "" {
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+			return 2
+		}
+		old, err := bench.LoadRecords(data)
+		if err != nil {
+			fmt.Fprintf(stderr, "javelin-bench: %s: %v\n", *compare, err)
+			return 2
+		}
+		recs, err := bench.CollectRecords(cfg)
+		if err != nil {
+			fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+			return 1
+		}
+		pairs, onlyOld, onlyNew := bench.CompareRecords(old, recs)
+		if bench.PrintComparison(stdout, pairs, onlyOld, onlyNew, *threshold) > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	if *jsonOut {

@@ -86,6 +86,37 @@ func TestRunTableStats(t *testing.T) {
 	}
 }
 
+func TestRunCompareSmoke(t *testing.T) {
+	// Compare against the committed pr5 baseline with a threshold no
+	// machine can trip: the mode must match records, print ratios, and
+	// exit 0. Records in the baseline but not re-measured here (other
+	// matrices) are listed, not failed.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-compare", "../../BENCH_pr5.json", "-threshold", "1e9",
+		"-scale", "0.02", "-threads", "1,2", "-repeats", "1", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s\n%s", rc, errb.String(), out.String())
+	}
+	for _, want := range []string{"ratio", "wang3", "apply", "only in baseline:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("compare output missing %q:\n%s", want, out.String())
+		}
+	}
+	if strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("nothing can regress past 1e9x:\n%s", out.String())
+	}
+}
+
+func TestRunCompareBadFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-compare", "no_such_file.json"}, &out, &errb); rc != 2 {
+		t.Fatalf("missing file: rc=%d", rc)
+	}
+	if rc := run([]string{"-compare", "main.go"}, &out, &errb); rc != 2 {
+		t.Fatalf("non-JSON baseline: rc=%d stderr=%s", rc, errb.String())
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-exp", "nope"}, &out, &errb); rc != 2 {

@@ -9,6 +9,9 @@
 //	javelin-info -table 3 -matrices af_shell3,fem_filter
 //	javelin-info -table 1 -stats
 //
+// Output leads with the numeric kernel variant the binary was built
+// with (the kernel dispatch capability report).
+//
 // -stats appends the process-wide execution runtime's activity
 // counter deltas (regions, chunk claims, steals, gang admissions +
 // queue wait, park/wake churn) for the printed tables — the
@@ -25,6 +28,7 @@ import (
 
 	"javelin/internal/bench"
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 )
 
 func main() {
@@ -43,6 +47,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+
+	// Capability report: which numeric kernel table this binary
+	// dispatches to (build-dependent — "go-reference" under -tags
+	// purego). Printed up front so perf numbers recorded alongside the
+	// tables are attributable to a variant.
+	fmt.Fprintf(stdout, "numeric kernels: %s (of %s)\n\n",
+		kernels.Variant(), strings.Join(kernels.Variants(), ", "))
 
 	cfg := bench.Config{Scale: *scale, Out: stdout}
 	if *matrices != "" {

@@ -102,7 +102,7 @@
 // All mutable solve state lives in per-caller contexts. The Solver
 // pools those contexts automatically; code that applies the
 // preconditioner directly (outside a Solver) creates its own Applier
-// per goroutine (cheap: two length-N scratch vectors plus schedule
+// per goroutine (cheap: one length-N scratch vector plus schedule
 // progress counters) and applies through it. The Preconditioner's own
 // Apply/ApplyBatch route through one built-in applier and are
 // therefore single-caller convenience paths (still safe, like every
@@ -164,6 +164,30 @@
 // Closing a Preconditioner (or a shared Runtime) while solves are in
 // flight is a programming error; solves issued after Close still
 // complete, degraded to caller-driven execution.
+//
+// # Numeric kernels & dispatch
+//
+// Every numeric inner loop — dot products and norms, axpy/scale
+// vector updates, CSR row-range SpMV, the gather and chained-subtract
+// row kernels of the triangular substitutions, and the dense-panel
+// update behind ApplyBatch — lives in one internal kernel table. The
+// table is selected at build time ("go-blocked" by default: 4-way
+// unrolled, bounds-check-eliminated pure Go; "go-reference", the
+// textbook loops, under -tags purego) and captured once per engine at
+// factorization, so a binary reports exactly which variant produced
+// its numbers: javelin-info prints it, and javelin-bench -json stamps
+// each record with a "variant" field.
+//
+// All variants are bitwise-identical by contract — blocked kernels
+// keep one chained accumulator and the reference summation order, so
+// switching variants (or adding an assembly one) never changes a
+// solver trajectory. The dispatch layer pairs with an adaptive
+// parallel cutoff: each parallel region is entered only when a cost
+// model (flops vs the runtime's measured region-dispatch overhead)
+// predicts a win, and otherwise the same staged traversal runs inline
+// on the calling goroutine — bit-identical to the parallel execution,
+// so the cutoff is invisible except in time. Asking for 8 threads on
+// a 500-row factor now costs what the serial loop costs.
 //
 // # Runtime metrics
 //

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LoadRecords parses a BENCH_*.json document in either of the two
+// shapes javelin-bench -json emits: the plain record array, or the
+// {"records": [...], "runtime_stats": {...}} object produced with
+// -stats. Unknown fields (old files without "variant", future
+// additions) are ignored by encoding/json as usual.
+func LoadRecords(data []byte) ([]Record, error) {
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err == nil {
+		return recs, nil
+	}
+	var doc struct {
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil || doc.Records == nil {
+		return nil, fmt.Errorf("bench: not a record array or a {\"records\": ...} object")
+	}
+	return doc.Records, nil
+}
+
+// Comparison is one record matched across two BENCH_*.json runs.
+type Comparison struct {
+	Record       // the new measurement
+	OldNs  int64 // the baseline measurement
+	Ratio  float64
+}
+
+func compareKey(r Record) string {
+	return fmt.Sprintf("%s|%s|%s|%dT", r.Matrix, r.Method, r.Op, r.Threads)
+}
+
+// CompareRecords matches newRecs against old on (matrix, method, op,
+// threads) and returns the matched pairs with their new/old time
+// ratios (>1 means the new run is slower), plus the keys present in
+// only one of the runs. Pairs come back sorted by descending ratio so
+// regressions lead.
+func CompareRecords(old, newRecs []Record) (pairs []Comparison, onlyOld, onlyNew []string) {
+	oldBy := make(map[string]Record, len(old))
+	for _, r := range old {
+		oldBy[compareKey(r)] = r
+	}
+	matched := make(map[string]bool, len(newRecs))
+	for _, r := range newRecs {
+		k := compareKey(r)
+		o, ok := oldBy[k]
+		if !ok {
+			onlyNew = append(onlyNew, k)
+			continue
+		}
+		matched[k] = true
+		c := Comparison{Record: r, OldNs: o.NsPerOp}
+		if o.NsPerOp > 0 {
+			c.Ratio = float64(r.NsPerOp) / float64(o.NsPerOp)
+		}
+		pairs = append(pairs, c)
+	}
+	for _, r := range old {
+		if k := compareKey(r); !matched[k] {
+			onlyOld = append(onlyOld, k)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Ratio > pairs[j].Ratio })
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return pairs, onlyOld, onlyNew
+}
+
+// PrintComparison writes the per-record ratio table and returns the
+// number of pairs whose ratio exceeds threshold. Records the two runs
+// do not share are listed but never counted as regressions.
+func PrintComparison(w io.Writer, pairs []Comparison, onlyOld, onlyNew []string, threshold float64) (regressed int) {
+	fmt.Fprintf(w, "%-20s %-10s %-10s %3s %14s %14s %7s\n",
+		"matrix", "method", "op", "thr", "old ns/op", "new ns/op", "ratio")
+	for _, p := range pairs {
+		flag := ""
+		if p.Ratio > threshold {
+			flag = "  REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(w, "%-20s %-10s %-10s %3d %14d %14d %7.3f%s\n",
+			p.Matrix, p.Method, p.Op, p.Threads, p.OldNs, p.NsPerOp, p.Ratio, flag)
+	}
+	for _, k := range onlyOld {
+		fmt.Fprintf(w, "only in baseline: %s\n", k)
+	}
+	for _, k := range onlyNew {
+		fmt.Fprintf(w, "only in new run:  %s\n", k)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d record(s) slower than %.2fx baseline\n", regressed, threshold)
+	}
+	return regressed
+}

@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLoadRecordsBothShapes(t *testing.T) {
+	plain := []byte(`[{"matrix":"wang3","n":10,"nnz":30,"method":"p2p","op":"apply","threads":2,"ns_per_op":100}]`)
+	recs, err := LoadRecords(plain)
+	if err != nil || len(recs) != 1 || recs[0].Matrix != "wang3" {
+		t.Fatalf("plain array: recs=%v err=%v", recs, err)
+	}
+	wrapped := []byte(`{"records":[{"matrix":"wang3","op":"apply","threads":2,"ns_per_op":100,"variant":"go-blocked"}],"runtime_stats":{"regions":4}}`)
+	recs, err = LoadRecords(wrapped)
+	if err != nil || len(recs) != 1 || recs[0].Variant != "go-blocked" {
+		t.Fatalf("stats object: recs=%v err=%v", recs, err)
+	}
+	if _, err := LoadRecords([]byte(`{"nope":true}`)); err == nil {
+		t.Fatal("expected error for object without records")
+	}
+	if _, err := LoadRecords([]byte(`garbage`)); err == nil {
+		t.Fatal("expected error for non-JSON input")
+	}
+}
+
+func TestCompareRecords(t *testing.T) {
+	old := []Record{
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 100},
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 2, NsPerOp: 200},
+		{Matrix: "gone", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 50},
+	}
+	cur := []Record{
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 90},
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 2, NsPerOp: 500},
+		{Matrix: "new", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 10},
+	}
+	pairs, onlyOld, onlyNew := CompareRecords(old, cur)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs, want 2: %v", len(pairs), pairs)
+	}
+	// Sorted by descending ratio: the 2.5x regression leads.
+	if pairs[0].Threads != 2 || pairs[0].Ratio != 2.5 {
+		t.Fatalf("worst pair wrong: %+v", pairs[0])
+	}
+	if pairs[1].Ratio != 0.9 {
+		t.Fatalf("improvement ratio wrong: %+v", pairs[1])
+	}
+	if len(onlyOld) != 1 || !strings.Contains(onlyOld[0], "gone") {
+		t.Fatalf("onlyOld=%v", onlyOld)
+	}
+	if len(onlyNew) != 1 || !strings.Contains(onlyNew[0], "new") {
+		t.Fatalf("onlyNew=%v", onlyNew)
+	}
+
+	var buf bytes.Buffer
+	if got := PrintComparison(&buf, pairs, onlyOld, onlyNew, 1.5); got != 1 {
+		t.Fatalf("regressed=%d, want 1", got)
+	}
+	out := buf.String()
+	for _, want := range []string{"REGRESSED", "only in baseline: gone", "only in new run:", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if got := PrintComparison(&buf, pairs, nil, nil, 3.0); got != 0 {
+		t.Fatalf("regressed=%d at loose threshold, want 0", got)
+	}
+}

@@ -142,13 +142,36 @@ func PreorderWith(a *sparse.CSR, m order.Method) *sparse.CSR {
 	return sparse.PermuteSym(a, p, util.MaxThreads())
 }
 
-// TimeBest runs f repeats times and returns the minimum wall time.
+// TimeBest returns the best per-call wall time of f over repeats
+// measurement rounds. Calls shorter than the sampling floor are
+// batched — many calls per timed round, divided out — because a
+// single microsecond-scale call cannot be resolved against timer
+// overhead and scheduler jitter; a one-shot minimum of such calls
+// reads as noise, not as the operation's cost.
 func TimeBest(repeats int, f func()) time.Duration {
+	const minSample = 200 * time.Microsecond
+	// One timed call calibrates the batch size (and warms f's caches
+	// and branch predictors outside the measured rounds).
+	t0 := time.Now()
+	f()
+	d := time.Since(t0)
+	iters := 1
+	if d < minSample {
+		if d < 50*time.Nanosecond {
+			d = 50 * time.Nanosecond
+		}
+		iters = int(minSample / d)
+		if iters > 10000 {
+			iters = 10000
+		}
+	}
 	best := time.Duration(1<<63 - 1)
 	for i := 0; i < repeats; i++ {
 		t0 := time.Now()
-		f()
-		if d := time.Since(t0); d < best {
+		for j := 0; j < iters; j++ {
+			f()
+		}
+		if d := time.Since(t0) / time.Duration(iters); d < best {
 			best = d
 		}
 	}

@@ -21,6 +21,10 @@ type Record struct {
 	Op      string `json:"op"`     // "factorize" | "apply" | "solve"
 	Threads int    `json:"threads"`
 	NsPerOp int64  `json:"ns_per_op"`
+	// Variant names the numeric kernel table the engine dispatched to
+	// (e.g. "go-blocked"); omitted in files recorded before the kernel
+	// dispatch layer existed.
+	Variant string `json:"variant,omitempty"`
 }
 
 // RunJSON measures numeric refactorization and preconditioner
@@ -72,6 +76,7 @@ func CollectRecords(cfg Config) ([]Record, error) {
 				Nnz:     a.Nnz(),
 				Method:  e.Method().String(),
 				Threads: threads,
+				Variant: e.KernelVariant(),
 			}
 			fac := base
 			fac.Op = "factorize"

@@ -1,0 +1,55 @@
+//go:build !race
+
+package bench
+
+import (
+	"testing"
+
+	"javelin/internal/core"
+	"javelin/internal/util"
+)
+
+// TestApplyTwoThreadOverhead pins the point of the adaptive cutoff:
+// asking for 2 threads must never be catastrophically slower than the
+// serial loop, even on matrices far too small to parallelize and on
+// machines with a single CPU (where every parallel region is pure
+// overhead). Before the cutoff, 2T apply on these shapes lost to 1T
+// by large factors; with it, the staged traversal runs inline and
+// only the staging order itself differs. The bound is deliberately
+// loose — it guards against re-introducing unconditional dispatch,
+// not against timer noise.
+func TestApplyTwoThreadOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const maxRatio = 2.0
+	for _, name := range []string{"wang3", "scircuit"} {
+		inst := BuildInstance(goldenSpec(t, name), 0.02, true)
+		a := inst.A
+		r := make([]float64, a.N)
+		rng := util.NewRNG(77)
+		for i := range r {
+			r[i] = rng.NormFloat64()
+		}
+		z := make([]float64, a.N)
+
+		timeApply := func(threads int) int64 {
+			opt := core.DefaultOptions()
+			opt.Threads = threads
+			e, err := core.Factorize(a, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			e.Apply(r, z) // warm caches and the overhead probe
+			return TimeBest(5, func() { e.Apply(r, z) }).Nanoseconds()
+		}
+		ns1 := timeApply(1)
+		ns2 := timeApply(2)
+		ratio := float64(ns2) / float64(ns1)
+		t.Logf("%s: 1T apply %dns, 2T apply %dns (ratio %.2f)", name, ns1, ns2, ratio)
+		if ratio > maxRatio {
+			t.Errorf("%s: 2T apply %.2fx slower than 1T (limit %.1fx)", name, ratio, maxRatio)
+		}
+	}
+}

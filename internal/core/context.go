@@ -43,8 +43,8 @@ type SolveContext struct {
 	pins  int
 	depth int
 
-	tmp1, tmp2 []float64 // Apply permutation scratch
-	blk        []float64 // packed n×k batch scratch (lazily grown)
+	tmp1 []float64 // Apply permutation scratch (solves run in place on it)
+	blk  []float64 // packed n×k batch scratch (lazily grown)
 }
 
 // retainedBlkRHS caps the batch scratch a released context keeps: a
@@ -74,7 +74,7 @@ func (c *SolveContext) exit() {
 }
 
 // NewContext creates an independent solve context over the engine.
-// Contexts are cheap (two length-N vectors plus per-run counters) and
+// Contexts are cheap (one length-N vector plus per-run counters) and
 // reusable across any number of solves; each solve call reads the
 // factor values current at its entry.
 func (e *Engine) NewContext() *SolveContext {
@@ -83,7 +83,6 @@ func (e *Engine) NewContext() *SolveContext {
 		runL: e.schedL.NewRun(),
 		runU: e.schedU.NewRun(),
 		tmp1: make([]float64, e.n),
-		tmp2: make([]float64, e.n),
 	}
 }
 
@@ -177,8 +176,8 @@ func (c *SolveContext) Apply(r, z []float64) {
 	perm := c.e.split.Perm
 	perm.ApplyVec(r, c.tmp1)
 	c.SolveLower(c.tmp1, c.tmp1)
-	c.SolveUpper(c.tmp1, c.tmp2)
-	perm.ApplyVecInverse(c.tmp2, z)
+	c.SolveUpper(c.tmp1, c.tmp1)
+	perm.ApplyVecInverse(c.tmp1, z)
 }
 
 // ensureBlk grows the packed batch scratch to at least size entries.
@@ -277,133 +276,114 @@ func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []
 // n×k block xb (xb[i*k+j] is entry i of right-hand side j). The
 // traversal mirrors SolveLower exactly — p2p upper stage, tiled
 // spmv-like lower sweep, group-parallel corner — with each row's
-// factor entries applied to all k columns.
+// factor entries applied to all k columns through the dense-panel
+// micro-kernel. Batch work scales with k, so the adaptive cutoff
+// gets 2·nnz·k: a batch big enough can go parallel even when the
+// single-vector solve of the same factor stays inline.
 func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
 	vals := c.vals
+	kt := e.kt
 	if e.opt.Threads == 1 {
 		for r := 0; r < e.n; r++ {
-			xr := xb[r*k : r*k+k]
-			for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
-				cc := lu.ColIdx[p]
-				if cc >= r {
-					break
-				}
-				v := vals[p]
-				xc := xb[cc*k : cc*k+k]
-				for j := range xr {
-					xr[j] -= v * xc[j]
-				}
-			}
+			lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
+			kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, lo, dp)
 		}
 		return
 	}
-	// Upper stage under the forward p2p schedule.
-	c.runL.Execute(func(r int) {
-		xr := xb[r*k : r*k+k]
-		for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
-			cc := lu.ColIdx[p]
-			if cc >= r {
-				break
-			}
-			v := vals[p]
-			xc := xb[cc*k : cc*k+k]
-			for j := range xr {
-				xr[j] -= v * xc[j]
-			}
-		}
-	})
+	par := e.rt.ParallelWorth(e.solveOps * int64(k))
+	// Upper stage under the forward p2p schedule (or inline ascending,
+	// a valid forward topological order — bitwise identical).
+	rowBody := func(r int) {
+		lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
+		kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, lo, dp)
+	}
 	nUp, n := e.split.NUpper, e.n
+	if par {
+		c.runL.Execute(rowBody)
+	} else {
+		for r := 0; r < nUp; r++ {
+			rowBody(r)
+		}
+	}
 	if nUp == n {
 		return
 	}
 	// Lower stage, part 1: L(lower, upper)·x contribution, tiled
 	// (spans are row-disjoint → race-free).
 	lp := e.lower
-	e.runTiles(lp.solveTiles, func(t tileRange) {
+	tileBody := func(t tileRange) {
 		for si := t.lo; si < t.hi; si++ {
 			sp := lp.solveSpans[si]
-			xr := xb[sp.row*k : sp.row*k+k]
-			for p := sp.kLo; p < sp.kHi; p++ {
-				v := vals[p]
-				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
-				for j := range xr {
-					xr[j] -= v * xc[j]
-				}
-			}
+			kt.PanelUpdate(xb, k, xb[sp.row*k:sp.row*k+k], vals, lu.ColIdx, sp.kLo, sp.kHi)
 		}
-	})
-	// Lower stage, part 2: corner, group-parallel.
-	for g := 0; g < e.split.NumLowerLevels(); g++ {
-		lo := nUp + e.split.LowerLvlPtr[g]
-		hi := nUp + e.split.LowerLvlPtr[g+1]
-		e.parallelRows(lo, hi, func(r int) {
-			xr := xb[r*k : r*k+k]
-			for p := lu.RowPtr[r]; p < lu.RowPtr[r+1]; p++ {
-				cc := lu.ColIdx[p]
-				if cc >= r {
-					break
-				}
-				if cc >= nUp {
-					v := vals[p]
-					xc := xb[cc*k : cc*k+k]
-					for j := range xr {
-						xr[j] -= v * xc[j]
-					}
-				}
-			}
-		})
+	}
+	e.runTilesIf(par, lp.solveTiles, tileBody)
+	// Lower stage, part 2: corner, group-parallel. The corner entries
+	// of row r are the precomputed contiguous suffix
+	// [cornerStart[r-nUp], DiagPos[r]), so the row goes through the
+	// same panel micro-kernel as every other stage.
+	cornerBody := func(r int) {
+		kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, e.cornerStart[r-nUp], e.factor.DiagPos[r])
+	}
+	if par {
+		for g := 0; g < e.split.NumLowerLevels(); g++ {
+			lo := nUp + e.split.LowerLvlPtr[g]
+			hi := nUp + e.split.LowerLvlPtr[g+1]
+			e.parallelRows(lo, hi, cornerBody)
+		}
+	} else {
+		// Groups are contiguous and ascending: one plain sweep.
+		for r := nUp; r < n; r++ {
+			cornerBody(r)
+		}
 	}
 }
 
 // solveUpperBlock is the batched backward substitution on the packed
 // n×k block, mirroring SolveUpper (corner groups descending, then the
-// backward p2p schedule over upper rows).
+// backward p2p schedule over upper rows — or both stages inline below
+// the adaptive cutoff, bitwise identically).
 func (c *SolveContext) solveUpperBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
 	vals := c.vals
-	if e.opt.Threads == 1 {
-		for r := e.n - 1; r >= 0; r-- {
-			dp := e.factor.DiagPos[r]
-			xr := xb[r*k : r*k+k]
-			for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
-				v := vals[p]
-				xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
-				for j := range xr {
-					xr[j] -= v * xc[j]
-				}
-			}
-			inv := 1 / vals[dp]
-			for j := range xr {
-				xr[j] *= inv
-			}
-		}
-		return
-	}
-	nUp, n := e.split.NUpper, e.n
+	kt := e.kt
 	rowBody := func(r int) {
 		dp := e.factor.DiagPos[r]
 		xr := xb[r*k : r*k+k]
-		for p := dp + 1; p < lu.RowPtr[r+1]; p++ {
-			v := vals[p]
-			xc := xb[lu.ColIdx[p]*k : lu.ColIdx[p]*k+k]
-			for j := range xr {
-				xr[j] -= v * xc[j]
+		kt.PanelUpdate(xb, k, xr, vals, lu.ColIdx, dp+1, lu.RowPtr[r+1])
+		kt.Scale(1/vals[dp], xr)
+	}
+	if e.opt.Threads == 1 {
+		for r := e.n - 1; r >= 0; r-- {
+			rowBody(r)
+		}
+		return
+	}
+	par := e.rt.ParallelWorth(e.solveOps * int64(k))
+	nUp, n := e.split.NUpper, e.n
+	if nUp < n {
+		if par {
+			for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
+				lo := nUp + e.split.LowerLvlPtr[g]
+				hi := nUp + e.split.LowerLvlPtr[g+1]
+				e.parallelRows(lo, hi, rowBody)
+			}
+		} else {
+			// Rows within a group are independent; groups contiguous
+			// descending → one backward sweep.
+			for r := n - 1; r >= nUp; r-- {
+				rowBody(r)
 			}
 		}
-		inv := 1 / vals[dp]
-		for j := range xr {
-			xr[j] *= inv
+	}
+	if par {
+		c.runU.Execute(rowBody)
+	} else {
+		for r := nUp - 1; r >= 0; r-- {
+			rowBody(r)
 		}
 	}
-	if nUp < n {
-		for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
-			lo := nUp + e.split.LowerLvlPtr[g]
-			hi := nUp + e.split.LowerLvlPtr[g+1]
-			e.parallelRows(lo, hi, rowBody)
-		}
-	}
-	c.runU.Execute(rowBody)
 }

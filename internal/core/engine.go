@@ -18,6 +18,7 @@ import (
 
 	"javelin/internal/exec"
 	"javelin/internal/ilu"
+	"javelin/internal/kernels"
 	"javelin/internal/levelset"
 	"javelin/internal/p2p"
 	"javelin/internal/sparse"
@@ -170,6 +171,30 @@ type Engine struct {
 	// symbolic state).
 	invPerm sparse.Perm
 
+	// kt is the numeric kernel table captured at construction, so a
+	// solve never observes a mid-run kernels.Select.
+	kt *kernels.Table
+	// Work estimates (in ~1ns ops) for the adaptive parallel cutoff:
+	// one triangular solve pass, the upper factor stage, and the lower
+	// factor stage respectively. Crude deliberately — the cutoff only
+	// needs order-of-magnitude truth against measured region overhead.
+	solveOps, upperOps, lowerOps int64
+
+	// cornerStart[r-NUpper] is the first sub-diagonal index of corner
+	// row r whose column is itself a corner row (>= NUpper). Columns
+	// are sorted, so those entries form a contiguous suffix
+	// [cornerStart[r-NUpper], DiagPos[r]) of the row — precomputed once
+	// so the corner solve sweeps explicit bounds instead of filtering
+	// every element on its column.
+	cornerStart []int
+
+	// solvePar is the adaptive-cutoff decision for single-vector
+	// triangular solves, evaluated once at factorization. The decision
+	// only selects scheduling — inline and parallel execution are
+	// bitwise identical — so re-evaluating it per solve would buy
+	// nothing but a GOMAXPROCS lock on every apply.
+	solvePar bool
+
 	lower *lowerPlan
 
 	// rt executes every parallel region of the engine. Owned (and
@@ -264,6 +289,23 @@ func Factorize(a *sparse.CSR, opt Options) (*Engine, error) {
 	if opt.Modified {
 		e.rowSumU = make([]float64, a.N)
 	}
+	e.kt = kernels.Active()
+	nnz := int64(permPat.Nnz())
+	upNnz := int64(permPat.RowPtr[split.NUpper])
+	e.solveOps = 2 * nnz
+	e.upperOps = 4 * upNnz
+	e.lowerOps = 4 * (nnz - upNnz)
+	if nUp := split.NUpper; nUp < a.N {
+		e.cornerStart = make([]int, a.N-nUp)
+		for r := nUp; r < a.N; r++ {
+			k := permPat.RowPtr[r]
+			for k < diagPos[r] && permPat.ColIdx[k] < nUp {
+				k++
+			}
+			e.cornerStart[r-nUp] = k
+		}
+	}
+	e.solvePar = e.rt.ParallelWorth(e.solveOps)
 
 	e.buildSchedules()
 	if err := e.buildLowerPlan(); err != nil {
@@ -324,6 +366,10 @@ func (e *Engine) Perm() sparse.Perm { return e.split.Perm }
 
 // Threads returns the configured worker count.
 func (e *Engine) Threads() int { return e.opt.Threads }
+
+// KernelVariant returns the name of the numeric kernel table the
+// engine captured at construction (e.g. "go-blocked").
+func (e *Engine) KernelVariant() string { return e.kt.Name }
 
 // Runtime returns the execution runtime the engine schedules on
 // (shared when Options.Runtime was set, private otherwise).

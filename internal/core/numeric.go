@@ -84,7 +84,7 @@ func (e *Engine) scatter(a *sparse.CSR, vals []float64) error {
 	inv := e.invPerm
 	allow := e.opt.AllowPatternMismatch
 	var mismatch atomic.Value
-	e.rt.For(e.n, e.opt.Threads, func(newI int) {
+	rowBody := func(newI int) {
 		lo, hi := lu.RowPtr[newI], lu.RowPtr[newI+1]
 		for k := lo; k < hi; k++ {
 			vals[k] = 0
@@ -103,7 +103,16 @@ func (e *Engine) scatter(a *sparse.CSR, vals []float64) error {
 					"%w: entry (%d,%d) of the refactorization input", ErrPatternMismatch, oldI, j)) //nolint:errcheck
 			}
 		}
-	})
+	}
+	// ~4 ops per pattern entry (zero + binary-search copy); below the
+	// cutoff the region is pure overhead and the rows run inline.
+	if pieces := e.rt.PiecesFor(4*int64(lu.Nnz()), e.opt.Threads); pieces <= 1 {
+		for newI := 0; newI < e.n; newI++ {
+			rowBody(newI)
+		}
+	} else {
+		e.rt.For(e.n, pieces, rowBody)
+	}
 	if v := mismatch.Load(); v != nil {
 		return v.(error)
 	}
@@ -115,7 +124,7 @@ func (e *Engine) scatter(a *sparse.CSR, vals []float64) error {
 // eliminated (its dependencies are all upper rows) and finished.
 func (e *Engine) factorUpper(vals []float64) error {
 	var firstErr atomic.Value
-	e.schedL.Run(func(r int) {
+	rowBody := func(r int) {
 		comp, err := eliminatePivots(e.factor, vals, r, 0, r)
 		if err == nil {
 			err = e.finishRow(vals, r, comp)
@@ -125,7 +134,18 @@ func (e *Engine) factorUpper(vals []float64) error {
 			// pivot but the factorization is already condemned.
 			firstErr.CompareAndSwap(nil, err) //nolint:errcheck
 		}
-	})
+	}
+	// Below the cutoff, walk the scheduled rows inline in ascending
+	// order — a valid forward topological order, so every row sees
+	// exactly the finished dependencies the p2p sweep would have given
+	// it and the factor values are bitwise identical.
+	if e.rt.ParallelWorth(e.upperOps) {
+		e.schedL.Run(rowBody)
+	} else {
+		for r := 0; r < e.split.NUpper; r++ {
+			rowBody(r)
+		}
+	}
 	if v := firstErr.Load(); v != nil {
 		return v.(error)
 	}
@@ -146,8 +166,9 @@ func (e *Engine) factorLowerER(vals []float64) error {
 	var firstErr atomic.Value
 	comps := e.lower.comp
 	// Phase 1: FACTOR_L — dynamic schedule, chunk 1 (the paper's
-	// OpenMP DYNAMIC/CHUNK_SIZE=1 configuration).
-	e.rt.ForDynamic(nLower, e.opt.Threads, 1, func(i int) {
+	// OpenMP DYNAMIC/CHUNK_SIZE=1 configuration); inline below the
+	// cutoff (rows are independent, so the results are identical).
+	phase1 := func(i int) {
 		r := nUp + i
 		comp, err := eliminatePivots(e.factor, vals, r, 0, nUp)
 		if err != nil {
@@ -155,7 +176,14 @@ func (e *Engine) factorLowerER(vals []float64) error {
 			return
 		}
 		comps[i] = comp
-	})
+	}
+	if e.rt.ParallelWorth(e.lowerOps) {
+		e.rt.ForDynamic(nLower, e.opt.Threads, 1, phase1)
+	} else {
+		for i := 0; i < nLower; i++ {
+			phase1(i)
+		}
+	}
 	if v := firstErr.Load(); v != nil {
 		return v.(error)
 	}
@@ -189,6 +217,9 @@ func (e *Engine) factorLowerSR(vals []float64) error {
 	recordErr := func(err error) {
 		firstErr.CompareAndSwap(nil, err) //nolint:errcheck
 	}
+	// Tiles are row-disjoint, so the inline route below the cutoff is
+	// bitwise identical to the batch dispatch.
+	par := e.rt.ParallelWorth(e.lowerOps)
 
 	for li := range lp.srLevels {
 		lvl := &lp.srLevels[li]
@@ -196,7 +227,7 @@ func (e *Engine) factorLowerSR(vals []float64) error {
 			continue
 		}
 		// DIVIDE_COLUMNS: val[k] /= U[j,j] for each entry in the level.
-		e.runTiles(lvl.divTiles, func(t tileRange) {
+		e.runTilesIf(par, lvl.divTiles, func(t tileRange) {
 			for si := t.lo; si < t.hi; si++ {
 				sp := lvl.spans[si]
 				for k := sp.kLo; k < sp.kHi; k++ {
@@ -216,7 +247,7 @@ func (e *Engine) factorLowerSR(vals []float64) error {
 		// UPDATE_BLOCK: for each span (one row's entries in this
 		// level), apply the merge updates into that row. Spans are
 		// row-disjoint, so tiles can run concurrently.
-		e.runTiles(lvl.updTiles, func(t tileRange) {
+		e.runTilesIf(par, lvl.updTiles, func(t tileRange) {
 			for si := t.lo; si < t.hi; si++ {
 				sp := lvl.spans[si]
 				comp := applyUpdates(e, vals, sp)
@@ -266,7 +297,11 @@ func applyUpdates(e *Engine, vals []float64, sp rowSpan) (comp float64) {
 // parallel with a barrier between groups — unless SerialCorner.
 func (e *Engine) factorCorner(vals []float64) error {
 	nUp, n := e.split.NUpper, e.n
-	if e.opt.SerialCorner || e.split.NumLowerLevels() <= 1 && n-nUp <= 64 {
+	// Serial ascending order equals groups-ascending with independent
+	// rows inside each group, so the cutoff's serial route is bitwise
+	// identical to the group-parallel one.
+	if e.opt.SerialCorner || e.split.NumLowerLevels() <= 1 && n-nUp <= 64 ||
+		!e.rt.ParallelWorth(e.lowerOps) {
 		for r := nUp; r < n; r++ {
 			comp, err := eliminatePivots(e.factor, vals, r, nUp, r)
 			if err != nil {
@@ -297,6 +332,19 @@ func (e *Engine) factorCorner(vals []float64) error {
 		}
 	}
 	return nil
+}
+
+// runTilesIf dispatches tiles on the runtime when par is true and
+// walks them inline in order otherwise — the caller's adaptive-cutoff
+// decision made explicit.
+func (e *Engine) runTilesIf(par bool, tiles []tileRange, body func(tileRange)) {
+	if !par {
+		for _, t := range tiles {
+			body(t)
+		}
+		return
+	}
+	e.runTiles(tiles, body)
 }
 
 // runTiles dispatches tile bodies as a work-stealing batch on the

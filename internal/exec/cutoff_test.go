@@ -1,0 +1,104 @@
+package exec
+
+import (
+	"runtime"
+	"testing"
+)
+
+func TestRegionOverheadMeasured(t *testing.T) {
+	r := New(2)
+	defer r.Close()
+	oh := r.RegionOverheadNs()
+	if oh < cutoffOverheadFloorNs || oh > cutoffOverheadCeilNs {
+		t.Fatalf("overhead %v outside clamp [%v, %v]", oh, cutoffOverheadFloorNs, cutoffOverheadCeilNs)
+	}
+	if oh2 := r.RegionOverheadNs(); oh2 != oh {
+		t.Fatalf("overhead not cached: %v then %v", oh, oh2)
+	}
+}
+
+func TestRegionOverheadInlineRuntime(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	if oh := r.RegionOverheadNs(); oh != cutoffOverheadFloorNs {
+		t.Fatalf("1-wide runtime should charge the floor, got %v", oh)
+	}
+}
+
+func TestParallelWorth(t *testing.T) {
+	r := New(4)
+	defer r.Close()
+
+	if r.ParallelWorth(0) {
+		t.Fatal("zero work should never be worth a region")
+	}
+	if r.ParallelWorth(-5) {
+		t.Fatal("negative work should never be worth a region")
+	}
+
+	// With GOMAXPROCS forced to 1, no amount of work is worth it:
+	// the lanes would time-slice a single P.
+	prev := runtime.GOMAXPROCS(1)
+	if r.ParallelWorth(1 << 40) {
+		runtime.GOMAXPROCS(prev)
+		t.Fatal("GOMAXPROCS=1 should force serial")
+	}
+	runtime.GOMAXPROCS(prev)
+
+	if prev < 2 {
+		// Give the runtime something to clamp against so the
+		// cost-model branch below is reachable on 1-CPU machines.
+		runtime.GOMAXPROCS(2)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	// Far above any plausible overhead: 1e9 ops ≈ 1s serial.
+	if !r.ParallelWorth(1 << 30) {
+		t.Fatal("1G ops should clear any calibrated overhead")
+	}
+	// Tiny region: a few hundred ops can never repay a region open.
+	if r.ParallelWorth(100) {
+		t.Fatal("100 ops should stay serial")
+	}
+}
+
+func TestParallelWorthNarrowRuntime(t *testing.T) {
+	r := New(1)
+	defer r.Close()
+	if r.ParallelWorth(1 << 30) {
+		t.Fatal("single-lane runtime can never profit from a region")
+	}
+}
+
+func TestPiecesFor(t *testing.T) {
+	r := New(8)
+	defer r.Close()
+
+	if g := runtime.GOMAXPROCS(0); g < 2 {
+		prev := runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	if p := r.PiecesFor(10, 0); p != 1 {
+		t.Fatalf("sub-threshold work: want 1 piece, got %d", p)
+	}
+	big := int64(1) << 30
+	p := r.PiecesFor(big, 0)
+	if p < 2 {
+		t.Fatalf("1G ops on a wide runtime: want >1 piece, got %d", p)
+	}
+	if lim := r.effectiveParallelism(); p > lim {
+		t.Fatalf("pieces %d exceeds effective parallelism %d", p, lim)
+	}
+	if p2 := r.PiecesFor(big, 2); p2 > 2 {
+		t.Fatalf("maxPar=2 not honored: got %d", p2)
+	}
+	// Work that is worth opening but cannot fill every lane must be
+	// dealt into fewer, fatter pieces.
+	justOver := int64(cutoffGainFactor*cutoffOverheadCeilNs) * 4
+	if pw := r.PiecesFor(justOver, 0); pw >= 1 {
+		maxByWork := justOver / cutoffMinPieceOps
+		if int64(pw) > maxByWork && pw > 1 {
+			t.Fatalf("piece count %d deals pieces below %d ops each", pw, cutoffMinPieceOps)
+		}
+	}
+}

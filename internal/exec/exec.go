@@ -82,6 +82,10 @@ type Runtime struct {
 	stats []laneStats
 
 	jobPool sync.Pool
+
+	// overhead is the lazily calibrated per-region cost used by the
+	// adaptive parallel cutoff (see cutoff.go).
+	overhead overheadState
 }
 
 // New creates a runtime providing the given total parallelism:

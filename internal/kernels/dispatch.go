@@ -1,0 +1,8 @@
+//go:build !purego
+
+package kernels
+
+// defaultVariant picks the table for normal builds. When GOARCH-gated
+// assembly variants land they claim this spot (per-arch files with
+// their own build tags), and `purego` remains the universal opt-out.
+const defaultVariant = "go-blocked"

@@ -1,0 +1,10 @@
+//go:build purego
+
+package kernels
+
+// Under the purego tag only the plain scalar loops are eligible: no
+// assembly (none exists yet), and no blocked variant either, so the
+// tag doubles as the switch that lets CI prove the blocked kernels
+// are bitwise-inert — the whole test suite must pass identically
+// either way.
+const defaultVariant = "go-reference"

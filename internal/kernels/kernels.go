@@ -1,0 +1,109 @@
+// Package kernels is the single home of Javelin's numeric inner
+// loops: the vector primitives (dot, sum-of-squares, axpy, scale),
+// the sparse row primitives (gather, CSR SpMV over row ranges), and
+// the dense-panel micro-kernel behind the packed n×k batched solves.
+// Every consumer — spmv, trisolve, krylov's reductions, the engine's
+// triangular sweeps — dispatches through the table selected here
+// instead of open-coding its own per-element loop.
+//
+// # Variants and dispatch
+//
+// Implementations come in named variants registered in a kernel
+// table. The default build selects the "go-blocked" variant: 4-way
+// unrolled loops over explicitly re-sliced blocks, shaped so the Go
+// compiler eliminates bounds checks and can issue the four loads of a
+// block independently. Building with the `purego` tag selects the
+// plain "go-reference" scalar loops instead — the tag is reserved as
+// the opt-out for a later PR that drops GOARCH-gated assembly
+// (AVX2/FMA, NEON) variants into the same table; callers never
+// change. Select the active variant once at process start (or with
+// Select in tests); Engine and Runtime constructors capture the
+// active table, so a solve never sees the variant change mid-flight.
+//
+// # Determinism contract
+//
+// All variants of a kernel must be bitwise equivalent: same inputs,
+// same float64 bits out, pinned by cross-variant fuzz tests. For the
+// reduction kernels (Dot, SumSq, Gather) this means every variant
+// performs the additions in exactly the reference's ascending index
+// order with a single chained accumulator — unrolling buys dropped
+// bounds checks and independent loads, NOT reassociation. A future
+// assembly variant must keep that order too (scalar adds, no FMA
+// contraction, no horizontal-sum reordering); the elementwise kernels
+// (Axpy, Scale, PanelUpdate) have no ordering freedom to lose and may
+// vectorize fully. This is the same fixed-block/ordered-combine
+// contract that makes solver trajectories bit-identical at every
+// thread count (see internal/krylov/reduce.go), extended down one
+// layer: scheduling may change with the machine, arithmetic may not.
+package kernels
+
+// Dot returns Σ x[i]·y[i] accumulated in ascending index order.
+// len(y) must be at least len(x).
+func Dot(x, y []float64) float64 { return active.Dot(x, y) }
+
+// SumSq returns Σ x[i]² accumulated in ascending index order.
+func SumSq(x []float64) float64 { return active.SumSq(x) }
+
+// Axpy computes y[i] += alpha·x[i]. len(y) must be at least len(x).
+func Axpy(alpha float64, x, y []float64) { active.Axpy(alpha, x, y) }
+
+// Scale computes x[i] *= alpha.
+func Scale(alpha float64, x []float64) { active.Scale(alpha, x) }
+
+// Gather returns Σ vals[i]·x[cols[i]] accumulated in index order —
+// the sparse row kernel shared by SpMV and the triangular sweeps
+// (with vals the factor-value slice of the pinned epoch, per the PR 5
+// explicit-vals signature style). len(vals) must equal len(cols).
+func Gather(vals []float64, cols []int, x []float64) float64 {
+	return active.Gather(vals, cols, x)
+}
+
+// SubGather returns s − vals[0]·x[cols[0]] − vals[1]·x[cols[1]] − …
+// as a CHAIN of subtractions in index order — the triangular
+// substitution row kernel. It is deliberately distinct from
+// s − Gather(...): (s−a)−b and s−(a+b) round differently, and the
+// solvers' trajectories are pinned to the chained form.
+func SubGather(s float64, vals []float64, cols []int, x []float64) float64 {
+	return active.SubGather(s, vals, cols, x)
+}
+
+// SpMVRows computes y[i] = Σ vals[k]·x[colIdx[k]] over each row i in
+// [lo, hi) of a CSR matrix — one call per contiguous row block, so a
+// parallel SpMV costs one dispatch per block instead of one closure
+// call per row.
+func SpMVRows(rowPtr, colIdx []int, vals, x, y []float64, lo, hi int) {
+	active.SpMVRows(rowPtr, colIdx, vals, x, y, lo, hi)
+}
+
+// PanelUpdate applies xr[j] -= vals[p]·xb[colIdx[p]*k+j] for p in
+// [lo, hi) and j in [0, k): one row's sparse factor entries applied
+// to all k right-hand sides of the packed row-major n×k panel xb —
+// the BLAS3-shaped inner kernel of the batched triangular solves.
+func PanelUpdate(xb []float64, k int, xr []float64, vals []float64, colIdx []int, lo, hi int) {
+	active.PanelUpdate(xb, k, xr, vals, colIdx, lo, hi)
+}
+
+// TriLower performs forward substitution in place over rows [lo, hi)
+// ascending: x[r] -= Σ vals[k]·x[colIdx[k]] for k in [rowPtr[r],
+// diagPos[r]), each row a SubGather chain. The whole sweep is one
+// dispatch — factor rows are short, so per-row dispatch would rival
+// the arithmetic.
+func TriLower(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi int) {
+	active.TriLower(rowPtr, diagPos, colIdx, vals, x, lo, hi)
+}
+
+// TriUpper performs backward substitution in place over rows [lo, hi)
+// descending: x[r] = (x[r] − Σ super-diagonal vals·x) / vals[diagPos[r]],
+// each row a SubGather chain followed by the diagonal division.
+func TriUpper(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi int) {
+	active.TriUpper(rowPtr, diagPos, colIdx, vals, x, lo, hi)
+}
+
+// GatherPerm copies y[i] = x[perm[i]] — the forward permutation pass
+// of a preconditioner application. len(x) may exceed len(perm); y
+// must hold len(perm) elements.
+func GatherPerm(perm []int, x, y []float64) { active.GatherPerm(perm, x, y) }
+
+// ScatterPerm copies y[perm[i]] = x[i] — the inverse permutation
+// pass. perm must be a permutation for y to be fully written.
+func ScatterPerm(perm []int, x, y []float64) { active.ScatterPerm(perm, x, y) }

@@ -1,0 +1,278 @@
+package kernels_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"javelin/internal/kernels"
+)
+
+// The cross-variant contract: every registered variant produces
+// bitwise-identical results on every kernel, for every length
+// (including the 0..3 unroll tails), on adversarially scaled inputs
+// where reassociation would visibly change the rounding.
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		// Wildly mixed magnitudes: a reassociated sum over these
+		// disagrees in the low mantissa bits almost surely.
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(13)-6))
+	}
+	return v
+}
+
+func randCSRRows(rng *rand.Rand, n, m, maxRow int) (rowPtr, colIdx []int, vals []float64) {
+	rowPtr = make([]int, n+1)
+	for i := 0; i < n; i++ {
+		rl := rng.Intn(maxRow + 1)
+		if rl > m {
+			rl = m
+		}
+		perm := rng.Perm(m)[:rl]
+		cols := append([]int(nil), perm...)
+		// Sorted ascending, as CSR requires.
+		for a := 1; a < len(cols); a++ {
+			for b := a; b > 0 && cols[b-1] > cols[b]; b-- {
+				cols[b-1], cols[b] = cols[b], cols[b-1]
+			}
+		}
+		colIdx = append(colIdx, cols...)
+		rowPtr[i+1] = len(colIdx)
+	}
+	vals = randVec(rng, len(colIdx))
+	return rowPtr, colIdx, vals
+}
+
+func withVariant(t *testing.T, name string, f func(tb *kernels.Table)) {
+	t.Helper()
+	tb, err := kernels.Lookup(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f(tb)
+}
+
+func TestVariantsRegistered(t *testing.T) {
+	names := kernels.Variants()
+	want := map[string]bool{"go-reference": false, "go-blocked": false}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("variant %q not registered (have %v)", n, names)
+		}
+	}
+	if kernels.Variant() == "" {
+		t.Fatal("no active variant")
+	}
+	if kernels.Active() == nil {
+		t.Fatal("Active returned nil")
+	}
+}
+
+func TestSelectRoundTrip(t *testing.T) {
+	prev, err := kernels.Select("go-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kernels.Variant() != "go-reference" {
+		t.Fatalf("Select did not switch: %s", kernels.Variant())
+	}
+	if _, err := kernels.Select(prev.Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kernels.Select("no-such-variant"); err == nil {
+		t.Fatal("Select accepted an unknown variant")
+	}
+}
+
+// TestCrossVariantBitwise fuzzes every kernel across every variant
+// pair and requires exact float64 bit equality.
+func TestCrossVariantBitwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x6b65726e))
+	ref, err := kernels.Lookup("go-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 64, 257, 1000}
+	for _, name := range kernels.Variants() {
+		if name == ref.Name {
+			continue
+		}
+		withVariant(t, name, func(tb *kernels.Table) {
+			for trial := 0; trial < 20; trial++ {
+				for _, n := range lengths {
+					x := randVec(rng, n)
+					y := randVec(rng, n)
+
+					if a, b := ref.Dot(x, y), tb.Dot(x, y); math.Float64bits(a) != math.Float64bits(b) {
+						t.Fatalf("%s Dot n=%d: %x vs %x", name, n, a, b)
+					}
+					if a, b := ref.SumSq(x), tb.SumSq(x); math.Float64bits(a) != math.Float64bits(b) {
+						t.Fatalf("%s SumSq n=%d: %x vs %x", name, n, a, b)
+					}
+
+					alpha := rng.NormFloat64()
+					ya := append([]float64(nil), y...)
+					yb := append([]float64(nil), y...)
+					ref.Axpy(alpha, x, ya)
+					tb.Axpy(alpha, x, yb)
+					requireSame(t, name+" Axpy", ya, yb)
+
+					xa := append([]float64(nil), x...)
+					xb := append([]float64(nil), x...)
+					ref.Scale(alpha, xa)
+					tb.Scale(alpha, xb)
+					requireSame(t, name+" Scale", xa, xb)
+
+					// Sparse kernels over a random CSR block.
+					m := n + 1
+					rowPtr, colIdx, vals := randCSRRows(rng, n, m, 9)
+					xv := randVec(rng, m)
+					for r := 0; r < n; r++ {
+						lo, hi := rowPtr[r], rowPtr[r+1]
+						a := ref.Gather(vals[lo:hi], colIdx[lo:hi], xv)
+						b := tb.Gather(vals[lo:hi], colIdx[lo:hi], xv)
+						if math.Float64bits(a) != math.Float64bits(b) {
+							t.Fatalf("%s Gather row=%d: %x vs %x", name, r, a, b)
+						}
+						s0 := rng.NormFloat64()
+						a = ref.SubGather(s0, vals[lo:hi], colIdx[lo:hi], xv)
+						b = tb.SubGather(s0, vals[lo:hi], colIdx[lo:hi], xv)
+						if math.Float64bits(a) != math.Float64bits(b) {
+							t.Fatalf("%s SubGather row=%d: %x vs %x", name, r, a, b)
+						}
+					}
+					yra := make([]float64, n)
+					yrb := make([]float64, n)
+					ref.SpMVRows(rowPtr, colIdx, vals, xv, yra, 0, n)
+					tb.SpMVRows(rowPtr, colIdx, vals, xv, yrb, 0, n)
+					requireSame(t, name+" SpMVRows", yra, yrb)
+
+					perm := rng.Perm(n)
+					pa := make([]float64, n)
+					pb := make([]float64, n)
+					ref.GatherPerm(perm, x, pa)
+					tb.GatherPerm(perm, x, pb)
+					requireSame(t, name+" GatherPerm", pa, pb)
+					ref.ScatterPerm(perm, x, pa)
+					tb.ScatterPerm(perm, x, pb)
+					requireSame(t, name+" ScatterPerm", pa, pb)
+				}
+			}
+		})
+	}
+}
+
+// randFactorCSR builds an n×n CSR pattern shaped like an ILU factor:
+// every row has its diagonal (nonzero value), sorted columns, a few
+// random sub- and super-diagonal entries. Returns the row pointers,
+// diagonal positions, columns, and values.
+func randFactorCSR(rng *rand.Rand, n int) (rowPtr, diagPos, colIdx []int, vals []float64) {
+	rowPtr = make([]int, n+1)
+	diagPos = make([]int, n)
+	for r := 0; r < n; r++ {
+		var cols []int
+		for c := 0; c < n; c++ {
+			if c == r || rng.Intn(n) < 4 {
+				cols = append(cols, c)
+			}
+		}
+		for _, c := range cols {
+			if c == r {
+				diagPos[r] = len(colIdx)
+			}
+			colIdx = append(colIdx, c)
+		}
+		rowPtr[r+1] = len(colIdx)
+	}
+	vals = randVec(rng, len(colIdx))
+	for r := 0; r < n; r++ {
+		// Keep diagonals well away from zero: TriUpper divides by them.
+		vals[diagPos[r]] = 1 + math.Abs(rng.NormFloat64())
+	}
+	return rowPtr, diagPos, colIdx, vals
+}
+
+// TestCrossVariantTriSweeps pins the whole-sweep substitution kernels
+// across variants on factor-shaped matrices, including tiny rows
+// where only the unroll tail runs.
+func TestCrossVariantTriSweeps(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x74726973))
+	ref, err := kernels.Lookup("go-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range kernels.Variants() {
+		if name == ref.Name {
+			continue
+		}
+		withVariant(t, name, func(tb *kernels.Table) {
+			for _, n := range []int{1, 2, 3, 5, 17, 120} {
+				for trial := 0; trial < 10; trial++ {
+					rowPtr, diagPos, colIdx, vals := randFactorCSR(rng, n)
+					x0 := randVec(rng, n)
+					// Partial sweeps too: the staged-inline paths run
+					// TriLower/TriUpper over row subranges.
+					lo := rng.Intn(n)
+					hi := lo + rng.Intn(n-lo) + 1
+
+					xa := append([]float64(nil), x0...)
+					xb := append([]float64(nil), x0...)
+					ref.TriLower(rowPtr, diagPos, colIdx, vals, xa, lo, hi)
+					tb.TriLower(rowPtr, diagPos, colIdx, vals, xb, lo, hi)
+					requireSame(t, name+" TriLower", xa, xb)
+
+					copy(xa, x0)
+					copy(xb, x0)
+					ref.TriUpper(rowPtr, diagPos, colIdx, vals, xa, lo, hi)
+					tb.TriUpper(rowPtr, diagPos, colIdx, vals, xb, lo, hi)
+					requireSame(t, name+" TriUpper", xa, xb)
+				}
+			}
+		})
+	}
+}
+
+// TestCrossVariantPanel pins the batched-apply micro-kernel across
+// variants on packed n×k panels, covering the k tail cases.
+func TestCrossVariantPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x70616e65))
+	ref, err := kernels.Lookup("go-reference")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range kernels.Variants() {
+		if name == ref.Name {
+			continue
+		}
+		withVariant(t, name, func(tb *kernels.Table) {
+			for _, k := range []int{1, 2, 3, 4, 5, 8, 13} {
+				n := 40
+				rowPtr, colIdx, vals := randCSRRows(rng, n, n, 6)
+				xbA := randVec(rng, n*k)
+				xbB := append([]float64(nil), xbA...)
+				for r := 0; r < n; r++ {
+					lo, hi := rowPtr[r], rowPtr[r+1]
+					ref.PanelUpdate(xbA, k, xbA[r*k:r*k+k], vals, colIdx, lo, hi)
+					tb.PanelUpdate(xbB, k, xbB[r*k:r*k+k], vals, colIdx, lo, hi)
+				}
+				requireSame(t, name+" PanelUpdate", xbA, xbB)
+			}
+		})
+	}
+}
+
+func requireSame(t *testing.T, what string, a, b []float64) {
+	t.Helper()
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			t.Fatalf("%s: index %d differs: %x vs %x", what, i, a[i], b[i])
+		}
+	}
+}

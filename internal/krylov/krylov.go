@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 	"javelin/internal/sparse"
 	"javelin/internal/spmv"
 	"javelin/internal/util"
@@ -200,10 +201,7 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 			st.RelResidual = trueResidual()
 			return st, nil
 		}
-		inv := 1 / beta
-		for i := range v[0] {
-			v[0][i] *= inv
-		}
+		kernels.Scale(1/beta, v[0])
 		for i := range g {
 			g[i] = 0
 		}

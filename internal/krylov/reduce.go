@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 )
 
 // This file implements the solvers' vector reductions (Dot, Norm2)
@@ -23,10 +24,11 @@ import (
 // per block.
 const reduceBlock = 4096
 
-// reduceParMin is the minimum number of blocks before the partials
-// are computed on the runtime; below it the fork-join overhead
-// outweighs the arithmetic. Purely a scheduling cutoff — results are
-// identical either side of it.
+// reduceParMin is the minimum number of blocks before the runtime is
+// even considered; the adaptive cutoff (exec.Runtime.ParallelWorth)
+// then decides from measured region overhead whether the fork-join
+// pays. Purely a scheduling decision — results are identical either
+// side of it.
 const reduceParMin = 4
 
 // reducer computes deterministic blocked reductions for one solve.
@@ -65,7 +67,7 @@ func (o Options) reducer(ws *Workspace) *reducer {
 			if hi > len(rd.x) {
 				hi = len(rd.x)
 			}
-			rd.parts[b] = dotRange(rd.x, rd.y, lo, hi)
+			rd.parts[b] = kernels.Dot(rd.x[lo:hi], rd.y[lo:hi])
 		}
 		rd.sumSqBlock = func(b int) {
 			lo := b * reduceBlock
@@ -73,7 +75,7 @@ func (o Options) reducer(ws *Workspace) *reducer {
 			if hi > len(rd.x) {
 				hi = len(rd.x)
 			}
-			rd.parts[b] = sumSqRange(rd.x, lo, hi)
+			rd.parts[b] = kernels.SumSq(rd.x[lo:hi])
 		}
 	}
 	return rd
@@ -88,8 +90,10 @@ func (rd *reducer) partials(nb int) {
 
 // run computes partials for nb blocks via the prepared closure,
 // on the runtime when it pays, serially otherwise (same result).
+// The block boundaries never move, so both routes — and any piece
+// dealing in between — round identically.
 func (rd *reducer) run(nb int, block func(b int)) {
-	if rd.rt != nil && nb >= reduceParMin {
+	if rd.rt != nil && nb >= reduceParMin && rd.rt.ParallelWorth(int64(nb)*reduceBlock) {
 		rd.rt.For(nb, rd.threads, block)
 	} else {
 		for b := 0; b < nb; b++ {
@@ -102,7 +106,7 @@ func (rd *reducer) run(nb int, block func(b int)) {
 func (rd *reducer) Dot(x, y []float64) float64 {
 	n := len(x)
 	if n <= reduceBlock {
-		return dotRange(x, y, 0, n)
+		return kernels.Dot(x[:n], y[:n])
 	}
 	nb := (n + reduceBlock - 1) / reduceBlock
 	rd.partials(nb)
@@ -120,7 +124,7 @@ func (rd *reducer) Dot(x, y []float64) float64 {
 func (rd *reducer) Norm2(x []float64) float64 {
 	n := len(x)
 	if n <= reduceBlock {
-		return math.Sqrt(sumSqRange(x, 0, n))
+		return math.Sqrt(kernels.SumSq(x))
 	}
 	nb := (n + reduceBlock - 1) / reduceBlock
 	rd.partials(nb)
@@ -132,20 +136,4 @@ func (rd *reducer) Norm2(x []float64) float64 {
 		s += p
 	}
 	return math.Sqrt(s)
-}
-
-func dotRange(x, y []float64, lo, hi int) float64 {
-	s := 0.0
-	for i := lo; i < hi; i++ {
-		s += x[i] * y[i]
-	}
-	return s
-}
-
-func sumSqRange(x []float64, lo, hi int) float64 {
-	s := 0.0
-	for i := lo; i < hi; i++ {
-		s += x[i] * x[i]
-	}
-	return s
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 )
 
 // Perm represents a permutation: Perm[newIndex] = oldIndex.
@@ -58,16 +59,12 @@ func (p Perm) Validate() error {
 
 // ApplyVec scatters x into y using p: y[new] = x[p[new]].
 func (p Perm) ApplyVec(x, y []float64) {
-	for newI, oldI := range p {
-		y[newI] = x[oldI]
-	}
+	kernels.GatherPerm(p, x, y)
 }
 
 // ApplyVecInverse does the inverse mapping: y[p[new]] = x[new].
 func (p Perm) ApplyVecInverse(x, y []float64) {
-	for newI, oldI := range p {
-		y[oldI] = x[newI]
-	}
+	kernels.ScatterPerm(p, x, y)
 }
 
 // PermuteSym returns P·A·Pᵀ where row/column old p[new] moves to new,

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 	"javelin/internal/sparse"
 	"javelin/internal/util"
 )
@@ -23,20 +24,24 @@ func Parallel(a *sparse.CSR, x, y []float64, threads int) {
 	ParallelOn(nil, a, x, y, threads)
 }
 
-// ParallelOn computes y = A·x with rows dealt in contiguous blocks on
-// the given runtime (nil means the process-wide default). At small n
-// this is the kernel where per-call goroutine spawning used to
-// dominate; on a warm runtime it costs only block claims.
+// ParallelOn computes y = A·x with row ranges dealt in contiguous
+// blocks on the given runtime (nil means the process-wide default).
+// The region is sized by the adaptive cutoff: sub-threshold matrices
+// run the serial blocked kernel inline, and worthwhile ones get one
+// kernel call per piece (not one closure dispatch per row). Row sums
+// are independent, so the result is bitwise identical at any piece
+// count.
 func ParallelOn(rt *exec.Runtime, a *sparse.CSR, x, y []float64, threads int) {
 	if rt == nil {
 		rt = exec.Default()
 	}
-	rt.For(a.N, threads, func(i int) {
-		s := 0.0
-		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
-		}
-		y[i] = s
+	pieces := rt.PiecesFor(2*int64(a.Nnz()), threads)
+	if pieces <= 1 {
+		kernels.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, 0, a.N)
+		return
+	}
+	rt.Ranges(a.N, pieces, func(_, lo, hi int) {
+		kernels.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, lo, hi)
 	})
 }
 
@@ -62,6 +67,10 @@ type Segmented struct {
 	// it across calls on one goroutine keeps the old single-caller
 	// allocation profile while making concurrent calls safe.
 	boundaries sync.Pool
+	// forceTiles pins MulOn to the tiled path regardless of the
+	// adaptive cutoff; tests use it to exercise boundary merging on
+	// machines where the cutoff routes everything serial.
+	forceTiles bool
 }
 
 // boundary is one Mul call's private scratch for row segments that
@@ -134,6 +143,17 @@ func (s *Segmented) MulOn(rt *exec.Runtime, x, y []float64, threads int) {
 		for i := 0; i < a.N; i++ {
 			y[i] = 0
 		}
+		return
+	}
+	// Sub-threshold problems skip the tile machinery entirely: the
+	// serial CSR kernel needs no boundary scratch, no partial-sum
+	// merge, and no empty-row sweep (it writes every row). The tiled
+	// path's boundary merge reassociates crossing rows' sums, so the
+	// two paths differ in low bits — acceptable here because Segmented
+	// feeds no trajectory-pinned solver path and its contract is
+	// tolerance-level agreement with Serial.
+	if !s.forceTiles && !rt.ParallelWorth(2*int64(nnz)) {
+		kernels.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, 0, a.N)
 		return
 	}
 	b := s.boundaries.Get().(*boundary)

@@ -54,6 +54,7 @@ func TestSegmentedMatchesSerialAcrossTileSizes(t *testing.T) {
 		Serial(a, x, want)
 		for _, ts := range []int{32, 64, 257, 1024} {
 			s := NewSegmented(a, ts)
+			s.forceTiles = true // exercise boundary merging, not the cutoff's serial route
 			got := make([]float64, a.N)
 			for _, threads := range []int{1, 3, 8} {
 				for i := range got {
@@ -86,6 +87,7 @@ func TestSegmentedRowSpanningManyTiles(t *testing.T) {
 	want := make([]float64, n)
 	Serial(a, x, want)
 	s := NewSegmented(a, 32) // the big row spans ⌈40/32⌉ tiles… use smaller
+	s.forceTiles = true
 	got := make([]float64, n)
 	s.Mul(x, got, 4)
 	if !vecsEqual(want, got, 1e-12) {
@@ -100,11 +102,14 @@ func TestSegmentedEmptyRows(t *testing.T) {
 	a := coo.ToCSR()
 	s := NewSegmented(a, 64)
 	x := []float64{1, 1, 1, 1, 1}
-	y := []float64{9, 9, 9, 9, 9} // stale values must be cleared
-	s.Mul(x, y, 2)
 	want := []float64{1, 0, 0, 0, 2}
-	if !vecsEqual(want, y, 0) {
-		t.Fatalf("empty-row handling: %v", y)
+	for _, tiled := range []bool{false, true} {
+		s.forceTiles = tiled
+		y := []float64{9, 9, 9, 9, 9} // stale values must be cleared
+		s.Mul(x, y, 2)
+		if !vecsEqual(want, y, 0) {
+			t.Fatalf("empty-row handling (forceTiles=%v): %v", tiled, y)
+		}
 	}
 }
 
@@ -132,6 +137,7 @@ func TestNewSegmentedTileSizeClamp(t *testing.T) {
 	Serial(a, x, want)
 	for _, ts := range []int{1, 16} {
 		s := NewSegmented(a, ts)
+		s.forceTiles = true
 		got := make([]float64, a.N)
 		s.Mul(x, got, 4)
 		if !vecsEqual(want, got, 1e-12) {
@@ -155,6 +161,7 @@ func TestSegmentedConcurrentMul(t *testing.T) {
 	Serial(a, x, want)
 
 	s := NewSegmented(a, 64) // small tiles: plenty of boundary segments
+	s.forceTiles = true
 	const goroutines = 8
 	const rounds = 25
 	var wg sync.WaitGroup
@@ -205,6 +212,7 @@ func TestSegmentedPropertyRandom(t *testing.T) {
 		want := make([]float64, n)
 		Serial(a, x, want)
 		s := NewSegmented(a, 32+rng.Intn(100))
+		s.forceTiles = rng.Intn(2) == 0
 		got := make([]float64, n)
 		s.Mul(x, got, 1+rng.Intn(6))
 		return vecsEqual(want, got, 1e-10)

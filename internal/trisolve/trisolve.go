@@ -6,29 +6,26 @@
 package trisolve
 
 import (
+	"javelin/internal/exec"
 	"javelin/internal/ilu"
+	"javelin/internal/kernels"
 	"javelin/internal/levelset"
 	"javelin/internal/util"
 )
 
 // SolveLowerSerial solves L·x = b where L is the unit-lower part of
 // the factor (forward substitution). b and x may alias.
+//
+// The sub-diagonal entries of row i are exactly [RowPtr[i],
+// DiagPos[i]) — the diagonal always exists and columns are sorted —
+// so the row runs as an explicit-slice kernel instead of a
+// compare-and-break scan: same elements, same order, same rounding.
 func SolveLowerSerial(f *ilu.Factor, b, x []float64) {
 	lu := f.LU
 	if &b[0] != &x[0] {
 		copy(x, b)
 	}
-	for i := 0; i < lu.N; i++ {
-		s := x[i]
-		for k := lu.RowPtr[i]; k < lu.RowPtr[i+1]; k++ {
-			c := lu.ColIdx[k]
-			if c >= i {
-				break
-			}
-			s -= lu.Val[k] * x[c]
-		}
-		x[i] = s
-	}
+	kernels.TriLower(lu.RowPtr, f.DiagPos, lu.ColIdx, lu.Val, x, 0, lu.N)
 }
 
 // SolveUpperSerial solves U·x = b (backward substitution).
@@ -37,14 +34,7 @@ func SolveUpperSerial(f *ilu.Factor, b, x []float64) {
 	if &b[0] != &x[0] {
 		copy(x, b)
 	}
-	for i := lu.N - 1; i >= 0; i-- {
-		dp := f.DiagPos[i]
-		s := x[i]
-		for k := dp + 1; k < lu.RowPtr[i+1]; k++ {
-			s -= lu.Val[k] * x[lu.ColIdx[k]]
-		}
-		x[i] = s / lu.Val[dp]
-	}
+	kernels.TriUpper(lu.RowPtr, f.DiagPos, lu.ColIdx, lu.Val, x, 0, lu.N)
 }
 
 // CSRLS is the baseline level-set triangular solver: levels computed
@@ -59,6 +49,11 @@ type CSRLS struct {
 	// backward (U) levels: level sets of the reverse DAG
 	bwdPtr  []int
 	bwdRows []int
+	// per-level flop estimates (2 per nonzero scanned), computed once
+	// so each sweep can consult the runtime's adaptive cutoff without
+	// re-walking the pattern
+	fwdOps []int64
+	bwdOps []int64
 }
 
 // NewCSRLS builds the level structures for both sweeps.
@@ -69,7 +64,29 @@ func NewCSRLS(f *ilu.Factor, threads int) *CSRLS {
 	s := &CSRLS{f: f, threads: threads}
 	s.fwd = levelset.FromLowerPattern(f.LU)
 	s.buildBackward()
+	s.countOps()
 	return s
+}
+
+func (s *CSRLS) countOps() {
+	lu := s.f.LU
+	s.fwdOps = make([]int64, s.fwd.Count)
+	for l := 0; l < s.fwd.Count; l++ {
+		var ops int64
+		for _, r := range s.fwd.LevelRows(l) {
+			ops += 2 * int64(s.f.DiagPos[r]-lu.RowPtr[r])
+		}
+		s.fwdOps[l] = ops
+	}
+	nLvl := len(s.bwdPtr) - 1
+	s.bwdOps = make([]int64, nLvl)
+	for l := 0; l < nLvl; l++ {
+		var ops int64
+		for _, r := range s.bwdRows[s.bwdPtr[l]:s.bwdPtr[l+1]] {
+			ops += 2 * int64(lu.RowPtr[r+1]-s.f.DiagPos[r])
+		}
+		s.bwdOps[l] = ops
+	}
 }
 
 func (s *CSRLS) buildBackward() {
@@ -118,17 +135,10 @@ func (s *CSRLS) SolveLower(b, x []float64) {
 	}
 	for l := 0; l < s.fwd.Count; l++ {
 		rows := s.fwd.LevelRows(l)
-		s.parallelLevel(len(rows), func(i int) {
+		s.parallelLevel(len(rows), s.fwdOps[l], func(i int) {
 			r := rows[i]
-			sum := x[r]
-			for k := lu.RowPtr[r]; k < lu.RowPtr[r+1]; k++ {
-				c := lu.ColIdx[k]
-				if c >= r {
-					break
-				}
-				sum -= lu.Val[k] * x[c]
-			}
-			x[r] = sum
+			lo, dp := lu.RowPtr[r], s.f.DiagPos[r]
+			x[r] = kernels.SubGather(x[r], lu.Val[lo:dp], lu.ColIdx[lo:dp], x)
 		})
 	}
 }
@@ -142,32 +152,35 @@ func (s *CSRLS) SolveUpper(b, x []float64) {
 	nLvl := len(s.bwdPtr) - 1
 	for l := 0; l < nLvl; l++ {
 		rows := s.bwdRows[s.bwdPtr[l]:s.bwdPtr[l+1]]
-		s.parallelLevel(len(rows), func(i int) {
+		s.parallelLevel(len(rows), s.bwdOps[l], func(i int) {
 			r := rows[i]
 			dp := s.f.DiagPos[r]
-			sum := x[r]
-			for k := dp + 1; k < lu.RowPtr[r+1]; k++ {
-				sum -= lu.Val[k] * x[lu.ColIdx[k]]
-			}
+			hi := lu.RowPtr[r+1]
+			sum := kernels.SubGather(x[r], lu.Val[dp+1:hi], lu.ColIdx[dp+1:hi], x)
 			x[r] = sum / lu.Val[dp]
 		})
 	}
 }
 
 // parallelLevel runs a level with a fork-join barrier — the cost the
-// baseline pays on every level, however small. Tiny levels are run
-// inline (the barrier would still dominate; this favors the baseline,
-// making Fig. 12's comparison conservative). The fork-join now rides
-// the persistent default runtime (via the util shim), so the barrier
-// overhead measured is the join itself, not goroutine creation.
-func (s *CSRLS) parallelLevel(n int, body func(i int)) {
-	if s.threads == 1 || n < 4 {
-		for i := 0; i < n; i++ {
-			body(i)
+// baseline pays on every level, however small. Levels whose measured
+// flop count cannot repay the runtime's region overhead run inline
+// instead (rows within a level are independent, so inline and
+// parallel execution round identically). This favors the baseline,
+// making Fig. 12's comparison conservative. The fork-join rides the
+// persistent process-wide runtime, so the barrier overhead measured
+// is the join itself, not goroutine creation.
+func (s *CSRLS) parallelLevel(n int, ops int64, body func(i int)) {
+	if s.threads != 1 && n >= 4 {
+		rt := exec.Default()
+		if pieces := rt.PiecesFor(ops, s.threads); pieces > 1 {
+			rt.For(n, pieces, body)
+			return
 		}
-		return
 	}
-	util.ParallelFor(n, s.threads, body)
+	for i := 0; i < n; i++ {
+		body(i)
+	}
 }
 
 // Residual returns ‖L·x − b‖₂ for diagnostics in tests: verifies a

@@ -1,6 +1,10 @@
 package util
 
-import "math"
+import (
+	"math"
+
+	"javelin/internal/kernels"
+)
 
 // Abs returns |x| for float64 without the math import at call sites.
 func Abs(x float64) float64 {
@@ -90,27 +94,20 @@ func NearlyEqual(a, b, rel, abs float64) bool {
 	return d <= rel*m
 }
 
-// Norm2 returns the Euclidean norm of x.
+// Norm2 returns the Euclidean norm of x. Delegates to the active
+// numeric kernel variant (bitwise identical across variants).
 func Norm2(x []float64) float64 {
-	s := 0.0
-	for _, v := range x {
-		s += v * v
-	}
-	return math.Sqrt(s)
+	return math.Sqrt(kernels.SumSq(x))
 }
 
 // Dot returns the inner product of x and y (len(x) == len(y)).
+// Delegates to the active numeric kernel variant.
 func Dot(x, y []float64) float64 {
-	s := 0.0
-	for i, v := range x {
-		s += v * y[i]
-	}
-	return s
+	return kernels.Dot(x, y)
 }
 
-// Axpy computes y += alpha*x in place.
+// Axpy computes y += alpha*x in place. Delegates to the active
+// numeric kernel variant.
 func Axpy(alpha float64, x, y []float64) {
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	kernels.Axpy(alpha, x, y)
 }
