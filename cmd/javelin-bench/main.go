@@ -7,7 +7,8 @@
 //	javelin-bench -exp fig10 -threads 1,2,4,8 -matrices wang3,scircuit
 //	javelin-bench -json -scale 0.02 -threads 1,2 > BENCH_now.json
 //	javelin-bench -json -stats -scale 0.02 -threads 1,2 -matrices wang3
-//	javelin-bench -compare BENCH_pr5.json -scale 0.02 -threads 1,2
+//	javelin-bench -compare BENCH_pr6.json -variant go-blocked -scale 0.02 -threads 1,2
+//	javelin-bench -json -variant go-blocked,avx2 > BENCH_paired.json
 //
 // Experiments: table1, table2, table3, table4, fig9, fig10, fig11,
 // fig12, fig13, all. Figures 10 and 11 are the same strong-scaling
@@ -33,9 +34,18 @@
 // wait, park/wake churn — after the experiments. In text mode the
 // counters print as a table; combined with -json they are emitted as
 // a "runtime_stats" object alongside the records.
+//
+// -variant forces a numeric kernel table (kernels.Select before any
+// engine is constructed), overriding the build's CPU-detected
+// default — the A/B switch for comparing kernel variants on equal
+// terms. With -json it accepts a comma-separated list and runs the
+// whole suite once per table, so a single invocation produces paired
+// records distinguished by their "variant" field. -list-variants
+// prints the registered table names and exits.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +55,7 @@ import (
 
 	"javelin/internal/bench"
 	"javelin/internal/exec"
+	"javelin/internal/kernels"
 	"javelin/internal/util"
 )
 
@@ -65,9 +76,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		stats     = fs.Bool("stats", false, "run on one shared runtime and report its activity counters")
 		compare   = fs.String("compare", "", "BENCH_*.json baseline: re-measure and print per-record new/old ratios")
 		threshold = fs.Float64("threshold", 1.5, "with -compare, exit nonzero when any ratio exceeds this")
+		variant   = fs.String("variant", "", "force a numeric kernel table; comma-separated list (with -json) runs the suite once per table")
+		listVar   = fs.Bool("list-variants", false, "print the registered kernel variant names, one per line, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *listVar {
+		for _, name := range kernels.Variants() {
+			fmt.Fprintln(stdout, name)
+		}
+		return 0
+	}
+
+	var variantNames []string
+	if *variant != "" {
+		for _, tok := range strings.Split(*variant, ",") {
+			name := strings.TrimSpace(tok)
+			// Validate every name up front: a typo must not surface
+			// only after the first table's suite already ran.
+			if _, err := kernels.Lookup(name); err != nil {
+				fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+				return 2
+			}
+			variantNames = append(variantNames, name)
+		}
+		if len(variantNames) > 1 && !*jsonOut {
+			fmt.Fprintf(stderr, "javelin-bench: multiple -variant names need -json (paired records)\n")
+			return 2
+		}
+		if len(variantNames) > 1 && (*stats || *compare != "") {
+			fmt.Fprintf(stderr, "javelin-bench: multiple -variant names cannot combine with -stats or -compare\n")
+			return 2
+		}
+		// Select before any engine construction: engines capture the
+		// active table at Factorize, so this decides every record.
+		if _, err := kernels.Select(variantNames[0]); err != nil {
+			fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+			return 2
+		}
 	}
 
 	cfg := bench.Config{
@@ -131,6 +179,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *jsonOut {
+		if len(variantNames) > 1 {
+			// Paired A/B records: the suite once per forced table, all
+			// records in one array, distinguished by "variant".
+			var all []bench.Record
+			for _, name := range variantNames {
+				if _, err := kernels.Select(name); err != nil {
+					fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+					return 1
+				}
+				recs, err := bench.CollectRecords(cfg)
+				if err != nil {
+					fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+					return 1
+				}
+				all = append(all, recs...)
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(all); err != nil {
+				fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
+				return 1
+			}
+			return 0
+		}
 		if err := bench.RunJSON(cfg); err != nil {
 			fmt.Fprintf(stderr, "javelin-bench: %v\n", err)
 			return 1

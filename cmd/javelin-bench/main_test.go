@@ -117,6 +117,85 @@ func TestRunCompareBadFile(t *testing.T) {
 	}
 }
 
+func TestRunListVariants(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-list-variants"}, &out, &errb); rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	for _, want := range []string{"go-reference", "go-blocked"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list-variants missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunForcedVariant(t *testing.T) {
+	// Forcing go-reference must stamp every record with it, whatever
+	// the build/CPU default is.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-json", "-variant", "go-reference", "-scale", "0.02",
+		"-threads", "1", "-repeats", "1", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	for _, r := range recs {
+		if r["variant"] != "go-reference" {
+			t.Fatalf("record variant %v, want go-reference: %v", r["variant"], r)
+		}
+	}
+}
+
+func TestRunPairedVariants(t *testing.T) {
+	// A comma-separated -variant list with -json runs the suite once
+	// per table: paired records distinguished by their variant field.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-json", "-variant", "go-reference,go-blocked", "-scale", "0.02",
+		"-threads", "1", "-repeats", "1", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	var recs []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6 (3 ops × 2 variants)", len(recs))
+	}
+	byVariant := map[any]int{}
+	for _, r := range recs {
+		byVariant[r["variant"]]++
+	}
+	if byVariant["go-reference"] != 3 || byVariant["go-blocked"] != 3 {
+		t.Fatalf("unpaired records: %v", byVariant)
+	}
+}
+
+func TestRunRejectsBadVariants(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-variant", "no-such-table"}, &out, &errb); rc != 2 {
+		t.Fatalf("unknown variant: rc=%d", rc)
+	}
+	if !strings.Contains(errb.String(), "unknown variant") ||
+		!strings.Contains(errb.String(), "go-blocked") {
+		t.Fatalf("error should name the known variants: %s", errb.String())
+	}
+	errb.Reset()
+	if rc := run([]string{"-variant", "go-reference,go-blocked", "-exp", "table1"}, &out, &errb); rc != 2 {
+		t.Fatalf("multi-variant without -json: rc=%d", rc)
+	}
+	errb.Reset()
+	if rc := run([]string{"-json", "-stats", "-variant", "go-reference,go-blocked"}, &out, &errb); rc != 2 {
+		t.Fatalf("multi-variant with -stats: rc=%d", rc)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-exp", "nope"}, &out, &errb); rc != 2 {

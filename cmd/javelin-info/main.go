@@ -9,8 +9,11 @@
 //	javelin-info -table 3 -matrices af_shell3,fem_filter
 //	javelin-info -table 1 -stats
 //
-// Output leads with the numeric kernel variant the binary was built
-// with (the kernel dispatch capability report).
+// Output leads with the kernel dispatch capability report: the
+// active numeric kernel variant, the CPU features runtime detection
+// found (which decide whether the assembly tables registered at all),
+// and — for an asm-backed variant — exactly which table slots run
+// assembly bodies rather than Go ones.
 //
 // -stats appends the process-wide execution runtime's activity
 // counter deltas (regions, chunk claims, steals, gang admissions +
@@ -27,6 +30,7 @@ import (
 	"strings"
 
 	"javelin/internal/bench"
+	"javelin/internal/cpuid"
 	"javelin/internal/exec"
 	"javelin/internal/kernels"
 )
@@ -49,11 +53,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	// Capability report: which numeric kernel table this binary
-	// dispatches to (build-dependent — "go-reference" under -tags
-	// purego). Printed up front so perf numbers recorded alongside the
-	// tables are attributable to a variant.
-	fmt.Fprintf(stdout, "numeric kernels: %s (of %s)\n\n",
+	// dispatches to (build- and CPU-dependent — "avx2" when detection
+	// confirms it, "go-reference" under -tags purego), what the CPU
+	// probe found, and which slots of the active table run assembly.
+	// Printed up front so perf numbers recorded alongside the tables
+	// are attributable to the exact kernel bodies that produced them.
+	fmt.Fprintf(stdout, "numeric kernels: %s (of %s)\n",
 		kernels.Variant(), strings.Join(kernels.Variants(), ", "))
+	fmt.Fprintf(stdout, "cpu features: %s\n", cpuid.Detected())
+	if slots := kernels.Active().AsmSlots; len(slots) > 0 {
+		fmt.Fprintf(stdout, "asm-backed slots: %s\n\n", strings.Join(slots, " "))
+	} else {
+		fmt.Fprintf(stdout, "asm-backed slots: none (pure Go table)\n\n")
+	}
 
 	cfg := bench.Config{Scale: *scale, Out: stdout}
 	if *matrices != "" {

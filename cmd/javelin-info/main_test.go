@@ -34,6 +34,23 @@ func TestRunStatsFlag(t *testing.T) {
 	}
 }
 
+func TestRunCapabilityReport(t *testing.T) {
+	// The report must always name the active variant, the detected
+	// CPU features, and the asm-backed slots — on any machine: a
+	// non-AVX2 (or purego) run prints "none"/"pure Go" rather than
+	// omitting the lines.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-table", "1", "-scale", "0.02", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	for _, want := range []string{"numeric kernels:", "cpu features:", "asm-backed slots:"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("capability report missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
 func TestRunRejectsUnknownTable(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-table", "2"}, &out, &errb); rc != 2 {

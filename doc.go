@@ -170,18 +170,32 @@
 // Every numeric inner loop — dot products and norms, axpy/scale
 // vector updates, CSR row-range SpMV, the gather and chained-subtract
 // row kernels of the triangular substitutions, and the dense-panel
-// update behind ApplyBatch — lives in one internal kernel table. The
-// table is selected at build time ("go-blocked" by default: 4-way
-// unrolled, bounds-check-eliminated pure Go; "go-reference", the
-// textbook loops, under -tags purego) and captured once per engine at
+// update behind ApplyBatch — lives in one internal kernel table,
+// selected once at process init and captured per engine at
 // factorization, so a binary reports exactly which variant produced
-// its numbers: javelin-info prints it, and javelin-bench -json stamps
-// each record with a "variant" field.
+// its numbers: javelin-info prints it (with the detected CPU features
+// and the asm-backed slots), and javelin-bench -json stamps each
+// record with a "variant" field.
 //
-// All variants are bitwise-identical by contract — blocked kernels
-// keep one chained accumulator and the reference summation order, so
-// switching variants (or adding an assembly one) never changes a
-// solver trajectory. The dispatch layer pairs with an adaptive
+// Selection order: -tags purego always forces "go-reference" (the
+// textbook loops, zero assembly linked); otherwise on amd64 runtime
+// CPU detection (internal/cpuid: CPUID + XGETBV, so the OS must save
+// YMM state too) selects "avx2" — AVX2 assembly for the elementwise
+// kernels and the independent multiplies of the reductions — and
+// every other case gets "go-blocked", the 4-way unrolled
+// bounds-check-eliminated pure Go. A table whose instructions the
+// machine cannot execute is never registered at all. To A/B variants
+// on equal terms, javelin-bench -variant forces a table before any
+// engine exists ("-variant go-blocked,avx2" with -json emits paired
+// records from one run).
+//
+// All variants are bitwise-identical by contract — every variant
+// keeps one chained accumulator in the reference summation order, and
+// the assembly kernels use separate multiply and add/subtract
+// instructions, never FMA contraction: an FMA rounds once where
+// mul-then-add rounds twice, so a fused kernel would change solver
+// trajectories in the low bits. Switching variants therefore never
+// changes a trajectory. The dispatch layer pairs with an adaptive
 // parallel cutoff: each parallel region is entered only when a cost
 // model (flops vs the runtime's measured region-dispatch overhead)
 // predicts a win, and otherwise the same staged traversal runs inline

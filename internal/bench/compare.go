@@ -37,12 +37,43 @@ func compareKey(r Record) string {
 	return fmt.Sprintf("%s|%s|%s|%dT", r.Matrix, r.Method, r.Op, r.Threads)
 }
 
+// uniformVariant reports the single kernel variant all records carry,
+// if they carry one.
+func uniformVariant(recs []Record) (string, bool) {
+	if len(recs) == 0 {
+		return "", false
+	}
+	v := recs[0].Variant
+	for _, r := range recs[1:] {
+		if r.Variant != v {
+			return "", false
+		}
+	}
+	return v, true
+}
+
 // CompareRecords matches newRecs against old on (matrix, method, op,
 // threads) and returns the matched pairs with their new/old time
 // ratios (>1 means the new run is slower), plus the keys present in
 // only one of the runs. Pairs come back sorted by descending ratio so
 // regressions lead.
+//
+// Kernel variants keep the comparison apples-to-apples: when the new
+// run is uniform in its (non-empty) variant, baseline records stamped
+// with a DIFFERENT variant are dropped before matching — so a paired
+// BENCH file (javelin-bench -json -variant a,b) works as a baseline
+// for a run forced to either table. Records stamped before variants
+// existed (empty field) always stay comparable.
 func CompareRecords(old, newRecs []Record) (pairs []Comparison, onlyOld, onlyNew []string) {
+	if v, uniform := uniformVariant(newRecs); uniform && v != "" {
+		filtered := make([]Record, 0, len(old))
+		for _, r := range old {
+			if r.Variant == "" || r.Variant == v {
+				filtered = append(filtered, r)
+			}
+		}
+		old = filtered
+	}
 	oldBy := make(map[string]Record, len(old))
 	for _, r := range old {
 		oldBy[compareKey(r)] = r

@@ -68,3 +68,38 @@ func TestCompareRecords(t *testing.T) {
 		t.Fatalf("regressed=%d at loose threshold, want 0", got)
 	}
 }
+
+func TestCompareRecordsVariantFilter(t *testing.T) {
+	// A paired baseline (go-blocked + avx2 records of the same ops)
+	// against a run forced to one variant: only the matching variant's
+	// baseline records (and pre-variant unstamped ones) may pair.
+	paired := []Record{
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 100, Variant: "go-blocked"},
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 60, Variant: "avx2"},
+		{Matrix: "old", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 40}, // pre-variant file
+	}
+	cur := []Record{
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 90, Variant: "go-blocked"},
+		{Matrix: "old", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 40, Variant: "go-blocked"},
+	}
+	pairs, onlyOld, onlyNew := CompareRecords(paired, cur)
+	if len(pairs) != 2 || len(onlyOld) != 0 || len(onlyNew) != 0 {
+		t.Fatalf("pairs=%v onlyOld=%v onlyNew=%v", pairs, onlyOld, onlyNew)
+	}
+	for _, p := range pairs {
+		if p.Matrix == "wang3" && p.OldNs != 100 {
+			t.Fatalf("wang3 paired against %d (the avx2 record?), want 100", p.OldNs)
+		}
+	}
+
+	// A mixed-variant new run (paired collection) disables the filter:
+	// everything matches by key alone, last baseline key wins as before.
+	mixed := []Record{
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 90, Variant: "go-blocked"},
+		{Matrix: "wang3", Method: "p2p", Op: "apply", Threads: 1, NsPerOp: 55, Variant: "avx2"},
+	}
+	pairs, _, _ = CompareRecords(paired, mixed)
+	if len(pairs) != 2 {
+		t.Fatalf("mixed run: %d pairs, want 2", len(pairs))
+	}
+}

@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+
+	"javelin/internal/kernels"
+)
+
+// -kernels.variant forces the active kernel table for the whole test
+// binary — CI runs the golden-trajectory test once per registered
+// variant, proving each one (asm included) reproduces the pinned
+// solver bits, not just the cross-variant fuzz equalities.
+var forcedVariant = flag.String("kernels.variant", "", "force the active kernel table for this test run")
+
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if *forcedVariant != "" {
+		if _, err := kernels.Select(*forcedVariant); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	os.Exit(m.Run())
+}

@@ -1,0 +1,68 @@
+// Package cpuid detects, at process start, the SIMD capabilities of
+// the CPU and operating system the process runs on. It exists so the
+// kernel dispatch layer (internal/kernels) can decide whether the
+// architecture-specific assembly tables are safe to register: an AVX2
+// table linked into the binary must still never be *selected* on a
+// machine whose CPU or OS cannot execute it.
+//
+// The package is dependency-free by design. On amd64 detection issues
+// the CPUID and XGETBV instructions directly (a few lines of
+// assembly); everywhere else — and under the `purego` build tag,
+// which promises a binary with zero assembly linked in — Detected
+// reports no optional features and the callers fall back to the
+// portable kernel tables.
+package cpuid
+
+import "strings"
+
+// Features describes the instruction-set extensions usable by this
+// process: a feature is reported only when the CPU advertises it AND
+// the operating system saves the corresponding register state across
+// context switches (XCR0, via XGETBV). A feature being false may
+// therefore mean "old CPU", "OS without state support", a non-amd64
+// architecture, or a purego build — callers never need to know which.
+type Features struct {
+	// AVX: 256-bit VEX float ops, and OS support for YMM state.
+	AVX bool
+	// AVX2: 256-bit integer ops, gathers, and the VEX forms the
+	// "avx2" kernel table uses. Implies AVX (OS YMM state included).
+	AVX2 bool
+	// FMA: fused multiply-add. Detected and reported, but the kernel
+	// tables deliberately never use it: FMA rounds once where
+	// mul-then-add rounds twice, so contraction would break the
+	// bitwise cross-variant contract.
+	FMA bool
+	// AVX512F: 512-bit foundation ops, and OS support for ZMM and
+	// opmask state. Reserved for a future table.
+	AVX512F bool
+}
+
+// String lists the detected features lowercase space-separated
+// ("avx avx2 fma"), or "none".
+func (f Features) String() string {
+	var s []string
+	if f.AVX {
+		s = append(s, "avx")
+	}
+	if f.AVX2 {
+		s = append(s, "avx2")
+	}
+	if f.FMA {
+		s = append(s, "fma")
+	}
+	if f.AVX512F {
+		s = append(s, "avx512f")
+	}
+	if len(s) == 0 {
+		return "none"
+	}
+	return strings.Join(s, " ")
+}
+
+// Detected returns the features of the running CPU+OS, probed once at
+// package init.
+func Detected() Features { return detected }
+
+// HasAVX2 reports whether the "avx2" kernel table is safe to run —
+// the question the kernels package asks at init.
+func HasAVX2() bool { return detected.AVX2 }

@@ -1,0 +1,70 @@
+//go:build amd64 && !purego
+
+package cpuid
+
+// cpuidRaw executes CPUID with the given leaf/subleaf.
+func cpuidRaw(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended-state enable mask the OS
+// maintains. Only valid when CPUID leaf 1 advertises OSXSAVE.
+func xgetbv0() (eax, edx uint32)
+
+// CPUID leaf 1 ECX bits.
+const (
+	leaf1FMA     = 1 << 12
+	leaf1OSXSAVE = 1 << 27
+	leaf1AVX     = 1 << 28
+)
+
+// CPUID leaf 7 (subleaf 0) EBX bits.
+const (
+	leaf7AVX2    = 1 << 5
+	leaf7AVX512F = 1 << 16
+)
+
+// XCR0 state-component bits.
+const (
+	xcr0SSE      = 1 << 1
+	xcr0YMM      = 1 << 2
+	xcr0Opmask   = 1 << 5
+	xcr0ZMMHi256 = 1 << 6
+	xcr0Hi16ZMM  = 1 << 7
+
+	xcr0AVXState    = xcr0SSE | xcr0YMM
+	xcr0AVX512State = xcr0AVXState | xcr0Opmask | xcr0ZMMHi256 | xcr0Hi16ZMM
+)
+
+var detected = detect()
+
+func detect() Features {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 1 {
+		return Features{}
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	if ecx1&leaf1OSXSAVE == 0 {
+		// Without OSXSAVE the OS does not manage extended state (and
+		// XGETBV would fault): nothing beyond SSE is usable.
+		return Features{}
+	}
+	var ebx7 uint32
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ = cpuidRaw(7, 0)
+	}
+	xcr0, _ := xgetbv0()
+	return decode(ecx1, ebx7, xcr0)
+}
+
+// decode maps raw CPUID/XCR0 bits to Features. It is the pure seam
+// the tests drive with synthetic leaves — machines without AVX2 are
+// simulated here, not by finding one.
+func decode(ecx1, ebx7, xcr0 uint32) Features {
+	osYMM := xcr0&xcr0AVXState == xcr0AVXState
+	osZMM := xcr0&xcr0AVX512State == xcr0AVX512State
+	var f Features
+	f.AVX = osYMM && ecx1&leaf1AVX != 0
+	f.FMA = osYMM && ecx1&leaf1FMA != 0
+	f.AVX2 = f.AVX && ebx7&leaf7AVX2 != 0
+	f.AVX512F = osZMM && ebx7&leaf7AVX512F != 0
+	return f
+}

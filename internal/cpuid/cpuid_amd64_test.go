@@ -1,0 +1,84 @@
+//go:build amd64 && !purego
+
+package cpuid
+
+import "testing"
+
+// decode is the detection seam: these cases simulate CPUs and OSes we
+// do not have — AVX2 hardware without OS YMM state, pre-AVX2 CPUs,
+// AVX-512 with and without ZMM state — with synthetic CPUID bits.
+func TestDecode(t *testing.T) {
+	cases := []struct {
+		name             string
+		ecx1, ebx7, xcr0 uint32
+		want             Features
+	}{
+		{"nothing", 0, 0, 0, Features{}},
+		{
+			"avx2+fma machine (this repo's target)",
+			leaf1AVX | leaf1FMA | leaf1OSXSAVE,
+			leaf7AVX2,
+			xcr0AVXState,
+			Features{AVX: true, AVX2: true, FMA: true},
+		},
+		{
+			"avx only, no avx2 (Sandy Bridge shape)",
+			leaf1AVX | leaf1OSXSAVE,
+			0,
+			xcr0AVXState,
+			Features{AVX: true},
+		},
+		{
+			"cpu has avx2 but OS never enabled YMM state",
+			leaf1AVX | leaf1FMA | leaf1OSXSAVE,
+			leaf7AVX2,
+			xcr0SSE, // XMM only
+			Features{},
+		},
+		{
+			"avx512f with full ZMM state",
+			leaf1AVX | leaf1FMA | leaf1OSXSAVE,
+			leaf7AVX2 | leaf7AVX512F,
+			xcr0AVX512State,
+			Features{AVX: true, AVX2: true, FMA: true, AVX512F: true},
+		},
+		{
+			"avx512f advertised but OS saves only YMM",
+			leaf1AVX | leaf1OSXSAVE,
+			leaf7AVX2 | leaf7AVX512F,
+			xcr0AVXState,
+			Features{AVX: true, AVX2: true},
+		},
+	}
+	for _, c := range cases {
+		if got := decode(c.ecx1, c.ebx7, c.xcr0); got != c.want {
+			t.Errorf("%s: decode = %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// detect() must agree with the raw leaves on the machine actually
+// running the test (a smoke check that the asm plumbing reads the
+// right registers).
+func TestDetectMatchesRawLeaves(t *testing.T) {
+	maxLeaf, _, _, _ := cpuidRaw(0, 0)
+	if maxLeaf < 1 {
+		t.Skip("pre-CPUID-leaf-1 CPU?")
+	}
+	_, _, ecx1, _ := cpuidRaw(1, 0)
+	f := Detected()
+	if ecx1&leaf1OSXSAVE == 0 {
+		if (f != Features{}) {
+			t.Fatalf("no OSXSAVE but features detected: %+v", f)
+		}
+		return
+	}
+	var ebx7 uint32
+	if maxLeaf >= 7 {
+		_, ebx7, _, _ = cpuidRaw(7, 0)
+	}
+	xcr0, _ := xgetbv0()
+	if want := decode(ecx1, ebx7, xcr0); f != want {
+		t.Fatalf("Detected %+v, decode of raw leaves %+v", f, want)
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !amd64 || purego
+
+package cpuid
+
+// Off amd64 there is no CPUID to issue (a NEON-detection analogue
+// arrives with an arm64 kernel table), and under purego the probe
+// assembly itself is excluded — the build promises zero assembly
+// linked in. Either way: no optional features, portable kernels only.
+var detected = Features{}

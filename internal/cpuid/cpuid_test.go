@@ -1,0 +1,31 @@
+package cpuid
+
+import "testing"
+
+// The portable surface: Detected/String never panic and are
+// self-consistent on any architecture and under purego.
+func TestDetectedConsistent(t *testing.T) {
+	f := Detected()
+	if f.AVX2 && !f.AVX {
+		t.Fatal("AVX2 reported without AVX")
+	}
+	if f.AVX2 != HasAVX2() {
+		t.Fatal("HasAVX2 disagrees with Detected().AVX2")
+	}
+	if f.String() == "" {
+		t.Fatal("empty Features.String")
+	}
+	if (f == Features{}) && f.String() != "none" {
+		t.Fatalf("zero Features prints %q, want \"none\"", f)
+	}
+}
+
+func TestFeaturesString(t *testing.T) {
+	f := Features{AVX: true, AVX2: true, FMA: true}
+	if got := f.String(); got != "avx avx2 fma" {
+		t.Fatalf("String: %q", got)
+	}
+	if got := (Features{}).String(); got != "none" {
+		t.Fatalf("zero String: %q", got)
+	}
+}

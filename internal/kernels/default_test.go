@@ -1,0 +1,25 @@
+package kernels
+
+import "testing"
+
+// On every build configuration — purego, amd64 with or without AVX2,
+// other GOARCHes — the build-resolved default must be registered and
+// selected, with no asm slots claimed by pure-Go tables.
+func TestDefaultVariantResolves(t *testing.T) {
+	tb, err := Lookup(defaultVariant)
+	if err != nil {
+		t.Fatalf("default variant %q not registered: %v", defaultVariant, err)
+	}
+	if tb == nil {
+		t.Fatal("nil default table")
+	}
+	for _, name := range []string{"go-reference", "go-blocked"} {
+		pure, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pure.AsmSlots) != 0 {
+			t.Fatalf("%s claims asm slots %v", name, pure.AsmSlots)
+		}
+	}
+}

@@ -1,8 +1,9 @@
-//go:build !purego
+//go:build !purego && !amd64
 
 package kernels
 
-// defaultVariant picks the table for normal builds. When GOARCH-gated
-// assembly variants land they claim this spot (per-arch files with
-// their own build tags), and `purego` remains the universal opt-out.
+// defaultVariant for architectures without an assembly table yet
+// (dispatch_amd64.go handles amd64, where CPU feature detection picks
+// "avx2" when available). A NEON table would claim arm64 with its own
+// dispatch file; `purego` remains the universal opt-out.
 const defaultVariant = "go-blocked"

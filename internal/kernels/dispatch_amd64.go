@@ -1,0 +1,22 @@
+//go:build amd64 && !purego
+
+package kernels
+
+import "javelin/internal/cpuid"
+
+// defaultVariant on amd64 resolves at process init from runtime CPU
+// feature detection: "avx2" when the CPU and OS support it, otherwise
+// the portable blocked table. `-tags purego` (dispatch_purego.go)
+// still overrides everything with "go-reference".
+var defaultVariant = resolveDefault(cpuid.HasAVX2())
+
+// resolveDefault is the selection seam: pure, so tests can prove the
+// no-AVX2 fallback never reaches for an unregistered table without
+// needing a pre-AVX2 machine. Keep it consistent with archTablesFor —
+// a name returned here must be registered under the same feature set.
+func resolveDefault(hasAVX2 bool) string {
+	if hasAVX2 {
+		return "avx2"
+	}
+	return "go-blocked"
+}

@@ -9,16 +9,22 @@
 // # Variants and dispatch
 //
 // Implementations come in named variants registered in a kernel
-// table. The default build selects the "go-blocked" variant: 4-way
-// unrolled loops over explicitly re-sliced blocks, shaped so the Go
-// compiler eliminates bounds checks and can issue the four loads of a
-// block independently. Building with the `purego` tag selects the
-// plain "go-reference" scalar loops instead — the tag is reserved as
-// the opt-out for a later PR that drops GOARCH-gated assembly
-// (AVX2/FMA, NEON) variants into the same table; callers never
-// change. Select the active variant once at process start (or with
-// Select in tests); Engine and Runtime constructors capture the
-// active table, so a solve never sees the variant change mid-flight.
+// table. Selection order: the `purego` tag forces "go-reference"
+// (plain scalar loops, zero assembly linked in); otherwise on amd64
+// runtime CPU feature detection (internal/cpuid) selects "avx2" when
+// the CPU and OS support it; everything else defaults to
+// "go-blocked" — 4-way unrolled loops over explicitly re-sliced
+// blocks, shaped so the Go compiler eliminates bounds checks and can
+// issue the four loads of a block independently. The "avx2" table
+// backs the elementwise kernels (Axpy, Scale, PanelUpdate) and the
+// row bodies of the sparse reductions with Go-assembly AVX2; slots
+// without an asm win keep the go-blocked bodies — slots are plain
+// function values, so tables compose. Feature-gated tables are
+// registered only when executable on the running machine (a NEON
+// table would claim arm64 the same way). Select the active variant
+// once at process start (or with Select in tests); Engine and Runtime
+// constructors capture the active table, so a solve never sees the
+// variant change mid-flight.
 //
 // # Determinism contract
 //
@@ -27,11 +33,14 @@
 // reduction kernels (Dot, SumSq, Gather) this means every variant
 // performs the additions in exactly the reference's ascending index
 // order with a single chained accumulator — unrolling buys dropped
-// bounds checks and independent loads, NOT reassociation. A future
-// assembly variant must keep that order too (scalar adds, no FMA
-// contraction, no horizontal-sum reordering); the elementwise kernels
-// (Axpy, Scale, PanelUpdate) have no ordering freedom to lose and may
-// vectorize fully. This is the same fixed-block/ordered-combine
+// bounds checks and independent loads, NOT reassociation. The
+// assembly variants obey the same rule: independent multiplies may
+// fill vector lanes, but the combine is a scalar chain in reference
+// order, remainder tails run the same scalar sequence, and FMA
+// contraction is banned outright (an FMA rounds once where
+// mul-then-add rounds twice — different bits). The elementwise
+// kernels (Axpy, Scale, PanelUpdate) have no ordering freedom to lose
+// and may vectorize fully. This is the same fixed-block/ordered-combine
 // contract that makes solver trajectories bit-identical at every
 // thread count (see internal/krylov/reduce.go), extended down one
 // layer: scheduling may change with the machine, arithmetic may not.

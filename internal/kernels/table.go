@@ -35,11 +35,22 @@ type Table struct {
 	// y[perm[i]] = x[i]. Elementwise — no ordering freedom.
 	GatherPerm  func(perm []int, x, y []float64)
 	ScatterPerm func(perm []int, x, y []float64)
+
+	// AsmSlots names the kernels this variant backs with
+	// architecture-specific assembly; empty for pure-Go variants.
+	// Informational — javelin-info prints it so perf numbers are
+	// attributable to the exact bodies that produced them.
+	AsmSlots []string
 }
 
 // variants is the registry of linked-in kernel tables, in preference
-// order (later registrations never displace an earlier name).
-var variants = []*Table{referenceTable, blockedTable}
+// order (later registrations never displace an earlier name). The
+// pure-Go tables are always present; archTables appends the
+// feature-gated architecture-specific ones (per-arch files), so a
+// table whose instructions the running CPU cannot execute is never
+// registered at all — Lookup("avx2") on a non-AVX2 machine is an
+// error, not a trap waiting to happen.
+var variants = append([]*Table{referenceTable, blockedTable}, archTables()...)
 
 // active is the process-wide selected table. It is set once at init
 // (defaultVariant is chosen by build tags) and only changed by Select,

@@ -1,0 +1,8 @@
+//go:build !amd64 || purego
+
+package kernels
+
+// No architecture-specific tables: either this GOARCH has no assembly
+// variant yet (NEON is the natural next one), or the purego build
+// excludes assembly on purpose.
+func archTables() []*Table { return nil }
