@@ -296,11 +296,15 @@ func (p *Preconditioner) NewApplier() *Applier {
 
 // Apply computes z ≈ A⁻¹·r in the user's row ordering. Safe to call
 // concurrently with other Appliers over the same Preconditioner.
+//
+//javelin:noalloc
 func (a *Applier) Apply(r, z []float64) { a.ctx.Apply(r, z) }
 
 // ApplyBatch applies the preconditioner to k right-hand sides in one
 // amortized sweep (see Preconditioner.ApplyBatch). Safe to call
 // concurrently with other Appliers over the same Preconditioner.
+//
+//javelin:noalloc
 func (a *Applier) ApplyBatch(R, Z [][]float64) { a.ctx.ApplyBatch(R, Z) }
 
 // ErrPatternMismatch is wrapped by Refactorize errors when the new

@@ -231,6 +231,37 @@
 // same counters under a -stats flag (javelin-bench -json -stats emits
 // them as a "runtime_stats" JSON object alongside the bench records).
 //
+// # Static analysis & enforced invariants
+//
+// The contracts the library rests on are machine-checked by
+// javelin-vet (cmd/javelin-vet, analyzers in internal/analyzers), a
+// dependency-free driver over stdlib go/ast + go/types that runs as a
+// blocking CI job. Each analyzer guards one contract:
+//
+//   - pinpair — epoch pinning (the live-refactorization contract):
+//     every AcquireContext/ReleaseContext and PinEpoch/UnpinEpoch must
+//     be paired on every return path, including error paths, by defer
+//     or explicit call. A leaked pin strands a retired factor
+//     generation's buffer forever.
+//   - kernelpurity — the bitwise-identity contract, Go side: kernel
+//     bodies in internal/kernels must not use math.FMA, iterate maps,
+//     launch goroutines, or import time/math/rand.
+//   - asmvet — the bitwise-identity contract, assembly side: no FMA
+//     opcode anywhere in *_amd64.s, and every RET of an AVX-bodied
+//     TEXT block must be immediately preceded by VZEROUPPER.
+//   - hotalloc — the allocation-free warm path: functions annotated
+//     //javelin:noalloc (Solver.Solve, Applier.Apply, the context
+//     Apply/ApplyBatch/solve paths, kernel bodies, krylov reductions)
+//     must contain no direct heap-allocation site, verified against
+//     the compiler's own escape analysis (go build -gcflags=-m).
+//     Deliberate allocations on cold branches (e.g. the closure handed
+//     to the parallel dispatcher) carry a //javelin:alloc-ok waiver
+//     with a reason.
+//
+// `go run ./cmd/javelin-vet ./...` exits nonzero on any finding
+// (-json for machine-readable output, per-analyzer flags to narrow);
+// new code — in particular new kernel variants — must pass the suite.
+//
 // The internal packages hold the substrates (sparse structures, level
 // scheduling, p2p synchronization, the execution runtime, orderings,
 // Krylov solvers, baselines); this package is the supported surface.

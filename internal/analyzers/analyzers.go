@@ -1,0 +1,133 @@
+// Package analyzers implements javelin-vet's repo-specific static
+// analyzers: machine checks for the contracts the codebase otherwise
+// enforces only by prose and tests.
+//
+//   - pinpair: every AcquireContext/ReleaseContext and every
+//     PinEpoch/UnpinEpoch must be paired on every return path (the
+//     epoch-pinning contract of internal/core — a leaked pin strands a
+//     retired factor buffer forever).
+//   - kernelpurity: the numeric kernel bodies in internal/kernels must
+//     stay deterministic — no math.FMA (contracts a mul+add into one
+//     rounding), no map iteration (nondeterministic order), no
+//     goroutine launches, no time/math/rand imports.
+//   - asmvet: the *_amd64.s assembly must issue VZEROUPPER before
+//     every RET of an AVX-bodied TEXT block and must not contain any
+//     FMA opcode anywhere (the no-FMA bitwise-identity rule enforced
+//     at the opcode level).
+//   - hotalloc: functions annotated //javelin:noalloc must not contain
+//     direct heap-allocation sites, verified against the compiler's
+//     own escape analysis (go build -gcflags=-m).
+//
+// The suite is dependency-free by design: packages are loaded with
+// `go list`, parsed with go/parser, and type-checked with go/types
+// against the build cache's export data, so go.mod keeps zero
+// requires. The cmd/javelin-vet driver wires the suite into CI as a
+// blocking job.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Finding is one analyzer diagnostic at a source position.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Message  string `json:"message"`
+}
+
+// String formats the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	pos := fmt.Sprintf("%s:%d", f.File, f.Line)
+	if f.Col > 0 {
+		pos = fmt.Sprintf("%s:%d", pos, f.Col)
+	}
+	return fmt.Sprintf("%s: [%s] %s", pos, f.Analyzer, f.Message)
+}
+
+// Pass carries one loaded package through one analyzer run.
+type Pass struct {
+	// Name of the running analyzer; stamped onto findings.
+	Name string
+
+	Fset    *token.FileSet
+	Files   []*ast.File // parsed non-test Go files, parallel to GoFiles
+	GoFiles []string    // absolute paths
+	SFiles  []string    // absolute paths of assembly files
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string // import path
+	Dir     string // package directory
+
+	findings *[]Finding
+}
+
+// Report records a finding at a token position.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	pp := p.Fset.Position(pos)
+	p.ReportAt(pp.Filename, pp.Line, pp.Column, format, args...)
+}
+
+// ReportAt records a finding at an explicit file position (used by the
+// non-Go checkers: assembly files, escape-analysis output).
+func (p *Pass) ReportAt(file string, line, col int, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Name,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// AppliesTo reports whether the analyzer runs on the package with
+	// the given import path (nil: every package).
+	AppliesTo func(pkgPath string) bool
+	Run       func(*Pass) error
+}
+
+// All returns the full suite in fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{PinPair, KernelPurity, AsmVet, HotAlloc}
+}
+
+// RunAnalyzer runs a on pkg, appending findings to out. Packages the
+// analyzer does not apply to are skipped silently.
+func RunAnalyzer(a *Analyzer, pkg *Package, out *[]Finding) error {
+	if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
+		return nil
+	}
+	pass := &Pass{
+		Name:     a.Name,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		GoFiles:  pkg.GoFiles,
+		SFiles:   pkg.SFiles,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		PkgPath:  pkg.PkgPath,
+		Dir:      pkg.Dir,
+		findings: out,
+	}
+	if err := a.Run(pass); err != nil {
+		return fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+	}
+	return nil
+}
+
+// isKernelsPackage gates kernelpurity to the numeric kernel package
+// (fixture packages opt in by path suffix too).
+func isKernelsPackage(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/kernels") ||
+		strings.HasSuffix(pkgPath, "testdata/src/kernelpurity")
+}

@@ -1,0 +1,184 @@
+package analyzers
+
+import (
+	"bufio"
+	"os"
+	"strings"
+)
+
+// AsmVet is a text/lexical checker for *_amd64.s files, covering the
+// two assembly-level contracts stdlib asmdecl knows nothing about:
+//
+//  1. Every RET in an AVX-bodied TEXT block must be immediately
+//     preceded by VZEROUPPER (skipping blank lines and labels).
+//     Leaving the upper YMM halves dirty on return imposes an
+//     AVX→SSE transition penalty on every caller until the next
+//     VZEROUPPER — a silent, hard-to-profile slowdown.
+//  2. No FMA opcode (VFMADD*/VFNMADD*/VFMSUB*/VFNMSUB*) may appear
+//     anywhere. FMA contracts a multiply and add into a single
+//     rounding, which breaks the bitwise-identity contract between
+//     kernel variants.
+//
+// Comments (both // and /* */) are stripped before matching, so prose
+// mentioning an opcode does not count. A TEXT block is "AVX-bodied"
+// when it contains at least one VEX-prefixed vector instruction
+// (mnemonic starting with V, excluding VZEROUPPER/VZEROALL
+// themselves).
+var AsmVet = &Analyzer{
+	Name: "asmvet",
+	Doc:  "*_amd64.s: VZEROUPPER before every RET of an AVX-bodied TEXT block; no FMA opcodes anywhere",
+	Run:  runAsmVet,
+}
+
+func runAsmVet(pass *Pass) error {
+	for _, sf := range pass.SFiles {
+		if !strings.HasSuffix(sf, "_amd64.s") {
+			continue
+		}
+		if err := vetAsmFile(pass, sf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VetAsmFile checks one assembly file outside the package-loading
+// path; the fixture tests use it to drive asmvet over raw .s files.
+func VetAsmFile(pass *Pass, path string) error {
+	return vetAsmFile(pass, path)
+}
+
+type asmLine struct {
+	num  int
+	text string // comment-stripped, trimmed
+}
+
+func vetAsmFile(pass *Pass, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var lines []asmLine
+	inBlockComment := false
+	sc := bufio.NewScanner(f)
+	for num := 1; sc.Scan(); num++ {
+		text, still := stripAsmComments(sc.Text(), inBlockComment)
+		inBlockComment = still
+		lines = append(lines, asmLine{num: num, text: strings.TrimSpace(text)})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Split into TEXT blocks and check each.
+	blockStart := -1
+	flush := func(end int) {
+		if blockStart >= 0 {
+			vetTextBlock(pass, path, lines[blockStart:end])
+		}
+	}
+	for i, ln := range lines {
+		if strings.HasPrefix(ln.text, "TEXT ") || strings.HasPrefix(ln.text, "TEXT\t") {
+			flush(i)
+			blockStart = i
+		}
+		// The FMA ban applies file-wide, TEXT block or not.
+		if op := opcodeOf(ln.text); isFMAOpcode(op) {
+			pass.ReportAt(path, ln.num, 0, "FMA opcode %s: fused mul+add is a single rounding and breaks bitwise identity between kernel variants", op)
+		}
+	}
+	flush(len(lines))
+	return nil
+}
+
+func vetTextBlock(pass *Pass, file string, block []asmLine) {
+	avx := false
+	for _, ln := range block {
+		op := opcodeOf(ln.text)
+		if isAVXOpcode(op) {
+			avx = true
+			break
+		}
+	}
+	if !avx {
+		return
+	}
+	for i, ln := range block {
+		if opcodeOf(ln.text) != "RET" {
+			continue
+		}
+		// Walk back over blank lines and labels to the previous
+		// instruction.
+		ok := false
+		for j := i - 1; j > 0; j-- {
+			t := block[j].text
+			if t == "" || strings.HasSuffix(t, ":") {
+				continue
+			}
+			ok = opcodeOf(t) == "VZEROUPPER"
+			break
+		}
+		if !ok {
+			pass.ReportAt(file, ln.num, 0, "RET in AVX-bodied TEXT block not preceded by VZEROUPPER: dirty upper YMM state penalizes every SSE instruction after return")
+		}
+	}
+}
+
+// opcodeOf extracts the instruction mnemonic from a comment-stripped
+// line ("" for blanks, directives are returned as-is).
+func opcodeOf(line string) string {
+	if line == "" {
+		return ""
+	}
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line
+	}
+	return line[:i]
+}
+
+func isAVXOpcode(op string) bool {
+	if !strings.HasPrefix(op, "V") {
+		return false
+	}
+	// VZEROUPPER/VZEROALL clean state rather than dirty it.
+	return !strings.HasPrefix(op, "VZERO")
+}
+
+func isFMAOpcode(op string) bool {
+	return strings.HasPrefix(op, "VFMADD") ||
+		strings.HasPrefix(op, "VFNMADD") ||
+		strings.HasPrefix(op, "VFMSUB") ||
+		strings.HasPrefix(op, "VFNMSUB")
+}
+
+// stripAsmComments removes // line comments and /* */ block comments,
+// threading block-comment state across lines.
+func stripAsmComments(line string, inBlock bool) (string, bool) {
+	var b strings.Builder
+	i := 0
+	for i < len(line) {
+		if inBlock {
+			end := strings.Index(line[i:], "*/")
+			if end < 0 {
+				return b.String(), true
+			}
+			i += end + 2
+			inBlock = false
+			continue
+		}
+		if strings.HasPrefix(line[i:], "//") {
+			return b.String(), false
+		}
+		if strings.HasPrefix(line[i:], "/*") {
+			i += 2
+			inBlock = true
+			continue
+		}
+		b.WriteByte(line[i])
+		i++
+	}
+	return b.String(), false
+}

@@ -1,0 +1,299 @@
+package analyzers
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc verifies the //javelin:noalloc directive: a function whose
+// doc comment carries the directive must not contain a direct
+// heap-allocation site on its warm path. The check drives the
+// compiler's own escape analysis (`go build -gcflags=-m`) and
+// cross-references its diagnostics against the annotated bodies, so
+// the verdict is the optimizer's, not a syntactic guess.
+//
+// Only direct, in-body allocation forms are flagged — "moved to heap",
+// escaping make/new, escaping &composite literals, and escaping func
+// literals — and each diagnostic is confirmed against the AST node at
+// that position before it becomes a finding. Diagnostics the compiler
+// attributes to a call site after inlining a callee are therefore
+// dropped: cross-function escapes are out of scope here (the
+// testing.AllocsPerRun tests remain the transitive guard), which also
+// keeps findings stable across compiler versions with different
+// inlining decisions. Interface boxing diagnostics ("escapes to heap"
+// on a plain expression) are ignored for the same reason.
+//
+// A deliberate allocation (e.g. the closure handed to the parallel
+// dispatcher on a branch the serial path never takes) is waived with
+// a //javelin:alloc-ok comment on the flagged line or the line above.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//javelin:noalloc functions must have no direct heap-allocation sites (checked against go build -gcflags=-m)",
+	Run:  runHotAlloc,
+}
+
+const (
+	noallocDirective = "//javelin:noalloc"
+	allocOKDirective = "//javelin:alloc-ok"
+)
+
+// funcRange is the file span of one annotated function body.
+type funcRange struct {
+	file       string
+	start, end int // lines, inclusive
+	name       string
+}
+
+func runHotAlloc(pass *Pass) error {
+	// Collect annotated functions and alloc-ok waiver lines.
+	var annotated []funcRange
+	waived := map[string]map[int]bool{} // file -> line set
+	for i, f := range pass.Files {
+		file := pass.GoFiles[i]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, allocOKDirective) {
+					if waived[file] == nil {
+						waived[file] = map[int]bool{}
+					}
+					waived[file][pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, noallocDirective) {
+					annotated = append(annotated, funcRange{
+						file:  file,
+						start: pass.Fset.Position(fd.Body.Pos()).Line,
+						end:   pass.Fset.Position(fd.Body.End()).Line,
+						name:  fd.Name.Name,
+					})
+				}
+			}
+		}
+	}
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	diags, err := escapeDiagnostics(pass.Dir)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		kind := allocKind(d.msg)
+		if kind == allocNone {
+			continue
+		}
+		abs := d.file
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(pass.Dir, abs)
+		}
+		fn := enclosingAnnotated(annotated, abs, d.line)
+		if fn == nil {
+			continue
+		}
+		if waived[abs][d.line] || waived[abs][d.line-1] {
+			continue
+		}
+		// Confirm the diagnostic against the AST: there must be a node
+		// of the matching kind at this position. Diagnostics inherited
+		// from inlined callees point at a call site with no such node
+		// and are dropped.
+		if !confirmAllocNode(pass, abs, d.line, kind) {
+			continue
+		}
+		pass.ReportAt(abs, d.line, d.col,
+			"%s in //javelin:noalloc func %s: %s (fix it, or waive an intentional allocation with %s)",
+			kind, fn.name, d.msg, allocOKDirective)
+	}
+	return nil
+}
+
+type escapeDiag struct {
+	file      string
+	line, col int
+	msg       string
+}
+
+// escapeDiagnostics builds the package in dir with -gcflags=-m and
+// parses the compiler's file:line:col diagnostics. The go build cache
+// replays compiler output, so repeat runs stay fast and still see the
+// diagnostics.
+func escapeDiagnostics(dir string) ([]escapeDiag, error) {
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m in %s: %v\n%s", dir, err, buf.String())
+	}
+	var diags []escapeDiag
+	for _, line := range strings.Split(buf.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, ok := parseDiagLine(line)
+		if ok {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// parseDiagLine splits "file.go:12:6: message".
+func parseDiagLine(s string) (escapeDiag, bool) {
+	// Find ": " after the file:line:col prefix. The prefix itself
+	// contains colons, so parse from the left: file has no ": ".
+	i := strings.Index(s, ": ")
+	if i < 0 {
+		return escapeDiag{}, false
+	}
+	pos, msg := s[:i], s[i+2:]
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return escapeDiag{}, false
+	}
+	var line, col int
+	var err error
+	file := parts[0]
+	if len(parts) >= 3 {
+		file = strings.Join(parts[:len(parts)-2], ":")
+		if line, err = strconv.Atoi(parts[len(parts)-2]); err != nil {
+			return escapeDiag{}, false
+		}
+		if col, err = strconv.Atoi(parts[len(parts)-1]); err != nil {
+			return escapeDiag{}, false
+		}
+	} else {
+		if line, err = strconv.Atoi(parts[1]); err != nil {
+			return escapeDiag{}, false
+		}
+	}
+	if !strings.HasSuffix(file, ".go") {
+		return escapeDiag{}, false
+	}
+	return escapeDiag{file: file, line: line, col: col, msg: msg}, true
+}
+
+type allocNodeKind int
+
+const (
+	allocNone allocNodeKind = iota
+	allocMoved
+	allocMake
+	allocNew
+	allocCompositeLit
+	allocFuncLit
+)
+
+func (k allocNodeKind) String() string {
+	switch k {
+	case allocMoved:
+		return "heap-moved variable"
+	case allocMake:
+		return "escaping make"
+	case allocNew:
+		return "escaping new"
+	case allocCompositeLit:
+		return "escaping composite literal"
+	case allocFuncLit:
+		return "escaping func literal"
+	}
+	return "allocation"
+}
+
+// allocKind classifies an escape diagnostic message as a direct
+// allocation form, or allocNone for everything else (inlining notes,
+// parameter leak notes, interface boxing, "does not escape", ...).
+func allocKind(msg string) allocNodeKind {
+	switch {
+	case strings.HasPrefix(msg, "moved to heap:"):
+		return allocMoved
+	case !strings.HasSuffix(msg, "escapes to heap"):
+		return allocNone
+	case strings.HasPrefix(msg, "make("):
+		return allocMake
+	case strings.HasPrefix(msg, "new("):
+		return allocNew
+	case strings.HasPrefix(msg, "&"):
+		return allocCompositeLit
+	case strings.HasPrefix(msg, "func literal"):
+		return allocFuncLit
+	}
+	return allocNone
+}
+
+func enclosingAnnotated(ranges []funcRange, file string, line int) *funcRange {
+	for i := range ranges {
+		r := &ranges[i]
+		if r.file == file && line >= r.start && line <= r.end {
+			return r
+		}
+	}
+	return nil
+}
+
+// confirmAllocNode reports whether an AST node matching kind starts on
+// the given line of file.
+func confirmAllocNode(pass *Pass, file string, line int, kind allocNodeKind) bool {
+	var af *ast.File
+	for i, gf := range pass.GoFiles {
+		if gf == file {
+			af = pass.Files[i]
+			break
+		}
+	}
+	if af == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(af, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		if pass.Fset.Position(n.Pos()).Line != line {
+			// Still descend: children can start on a later line.
+			return pass.Fset.Position(n.End()).Line >= line
+		}
+		switch kind {
+		case allocMoved:
+			// Points at a declaration or use; any node on the line
+			// confirms it is inside the body.
+			found = true
+		case allocMake, allocNew:
+			if call, ok := n.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					if (kind == allocMake && id.Name == "make") || (kind == allocNew && id.Name == "new") {
+						found = true
+					}
+				}
+			}
+		case allocCompositeLit:
+			if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				if _, ok := u.X.(*ast.CompositeLit); ok {
+					found = true
+				}
+			}
+		case allocFuncLit:
+			if _, ok := n.(*ast.FuncLit); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

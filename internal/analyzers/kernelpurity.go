@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// KernelPurity enforces the determinism contract of the numeric kernel
+// bodies in internal/kernels: every variant of every kernel must
+// produce bitwise-identical results, so kernel code must not contain
+// any source of nondeterminism or floating-point reassociation.
+// Concretely, inside the kernels package it forbids:
+//
+//   - math.FMA — contracts a multiply and add into a single rounding,
+//     diverging from the two-rounding scalar reference;
+//   - map iteration (range over a map) — nondeterministic order would
+//     reassociate any reduction driven by it;
+//   - goroutine launches — kernels are leaf compute routines; all
+//     parallelism lives in the exec layer above them;
+//   - imports of time and math/rand — wall-clock or randomness have no
+//     place in a pure kernel.
+var KernelPurity = &Analyzer{
+	Name:      "kernelpurity",
+	Doc:       "internal/kernels bodies must be deterministic: no math.FMA, map iteration, goroutines, or time/math/rand imports",
+	AppliesTo: isKernelsPackage,
+	Run:       runKernelPurity,
+}
+
+var bannedKernelImports = map[string]string{
+	"time":         "wall-clock access",
+	"math/rand":    "randomness",
+	"math/rand/v2": "randomness",
+}
+
+func runKernelPurity(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := bannedKernelImports[path]; ok {
+				pass.Report(imp.Pos(), "kernel package imports %q (%s): kernels must be deterministic pure compute", path, why)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Report(n.Pos(), "goroutine launched inside kernel package: parallelism belongs to the exec layer, kernels must stay leaf compute")
+			case *ast.RangeStmt:
+				if t := pass.Info.Types[n.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Report(n.Pos(), "range over map inside kernel package: iteration order is nondeterministic and would reassociate any reduction it drives")
+					}
+				}
+			case *ast.SelectorExpr:
+				if isMathFMA(pass, n) {
+					pass.Report(n.Pos(), "math.FMA fuses mul+add into one rounding: breaks the bitwise-identity contract between kernel variants")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isMathFMA reports whether sel resolves to the math package's FMA
+// function (not a local identifier that happens to be named FMA).
+func isMathFMA(pass *Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "FMA" {
+		return false
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	if obj == nil {
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == "math" && strings.HasSuffix(fn.FullName(), "math.FMA")
+}

@@ -1,0 +1,483 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PinPair checks that the epoch-pinning resource pairs of
+// internal/core are balanced on every return path:
+//
+//	c := e.AcquireContext()   must be released by e.ReleaseContext(c)
+//	c.PinEpoch()              must be balanced by c.UnpinEpoch()
+//
+// either via defer or by an explicit call before each return
+// (including error-return paths). A leaked acquire keeps its pinned
+// factor-value epoch alive forever: the retired buffer can never
+// recycle and a refactorize-heavy steady state grows without bound.
+//
+// The check is flow-sensitive over the function's statement structure:
+// branches are analyzed independently and merged (a handle released in
+// only one arm stays open), loops account for the zero-iteration path,
+// and defers cover every return after the defer statement. Ownership
+// transfers are out of scope by design: an acquire whose result is
+// stored in a struct field, returned, or passed to another function is
+// not tracked (the Applier pattern — release happens in another
+// method), and releasing a context received as a parameter is never
+// required. Function literals are analyzed as independent bodies.
+var PinPair = &Analyzer{
+	Name: "pinpair",
+	Doc:  "AcquireContext/ReleaseContext and PinEpoch/UnpinEpoch paired on every return path",
+	Run:  runPinPair,
+}
+
+// pinPairs maps open-call method names to their close method and the
+// receiver type names the pair is defined on.
+var pinPairs = map[string]struct {
+	close    string
+	recvType string
+}{
+	"AcquireContext": {close: "ReleaseContext", recvType: "Engine"},
+	"PinEpoch":       {close: "UnpinEpoch", recvType: "SolveContext"},
+}
+
+var pinCloses = map[string]string{
+	"ReleaseContext": "AcquireContext",
+	"UnpinEpoch":     "PinEpoch",
+}
+
+func runPinPair(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var name string
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body, name = fn.Body, fn.Name.Name
+			case *ast.FuncLit:
+				body, name = fn.Body, "func literal"
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			// The pair implementations themselves (methods named like
+			// the open/close calls) manage struct-field state, not
+			// local handles; skip them.
+			if _, isOpen := pinPairs[name]; isOpen {
+				return true
+			}
+			if _, isClose := pinCloses[name]; isClose {
+				return true
+			}
+			w := &pinWalker{pass: pass}
+			out := w.stmts(body.List, newPinState())
+			if out != nil {
+				// Fall-through function end = implicit return.
+				w.checkReturn(out, body.End())
+			}
+			return true // descend: nested FuncLits analyzed independently
+		})
+	}
+	return nil
+}
+
+// pinHandle is one open resource being tracked through the flow walk.
+type pinHandle struct {
+	key      any // *types.Var for contexts, string for pin receivers
+	open     string
+	pos      token.Pos
+	count    int  // nesting (PinEpoch brackets)
+	deferred bool // a defer closes it on every path from here on
+}
+
+type pinState struct {
+	handles map[any]*pinHandle
+}
+
+func newPinState() *pinState { return &pinState{handles: map[any]*pinHandle{}} }
+
+func (s *pinState) clone() *pinState {
+	c := newPinState()
+	for k, h := range s.handles {
+		hc := *h
+		c.handles[k] = &hc
+	}
+	return c
+}
+
+// merge combines the exit states of two branches: a handle open on
+// either path stays open, and is defer-covered only if covered on both.
+func mergePinStates(a, b *pinState) *pinState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	m := newPinState()
+	for k, h := range a.handles {
+		hc := *h
+		if o, ok := b.handles[k]; ok {
+			hc.deferred = hc.deferred && o.deferred
+			if o.count > hc.count {
+				hc.count = o.count
+			}
+		}
+		m.handles[k] = &hc
+	}
+	for k, h := range b.handles {
+		if _, ok := m.handles[k]; !ok {
+			hc := *h
+			m.handles[k] = &hc
+		}
+	}
+	return m
+}
+
+type pinWalker struct {
+	pass *Pass
+}
+
+// stmts walks a statement list, threading st through it. It returns
+// the fall-through state, or nil when every path terminated (return,
+// panic, or a branch statement leaving this walk).
+func (w *pinWalker) stmts(list []ast.Stmt, st *pinState) *pinState {
+	for _, s := range list {
+		if st == nil {
+			return nil
+		}
+		st = w.stmt(s, st)
+	}
+	return st
+}
+
+func (w *pinWalker) stmt(s ast.Stmt, st *pinState) *pinState {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, st)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, st)
+	case *ast.AssignStmt:
+		w.assign(s, st)
+		return st
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				w.maybeOpen(vs.Names[0], vs.Values[0], st)
+			}
+		}
+		return st
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return st
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return nil // panicking path: defers run, not checked here
+		}
+		if name, _ := w.pairCall(call); name != "" {
+			if _, isOpen := pinPairs[name]; isOpen {
+				if name == "AcquireContext" {
+					w.pass.Report(call.Pos(), "result of AcquireContext discarded: the acquired context (and its epoch pin) leaks")
+				} else {
+					w.openPin(call, st)
+				}
+				return st
+			}
+			w.close(call, st, false)
+		}
+		return st
+	case *ast.DeferStmt:
+		w.deferStmt(s, st)
+		return st
+	case *ast.ReturnStmt:
+		w.checkReturn(st, s.Pos())
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		thenOut := w.stmts(s.Body.List, st.clone())
+		var elseOut *pinState
+		if s.Else != nil {
+			elseOut = w.stmt(s.Else, st.clone())
+		} else {
+			elseOut = st
+		}
+		return mergePinStates(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = w.stmt(s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		bodyOut := w.stmts(s.Body.List, st.clone())
+		if s.Cond == nil && bodyOut == nil {
+			// `for { ... }` with no fall-through: nothing follows.
+			return nil
+		}
+		return mergePinStates(bodyOut, st) // zero-iteration path
+	case *ast.RangeStmt:
+		bodyOut := w.stmts(s.Body.List, st.clone())
+		return mergePinStates(bodyOut, st)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.switchLike(s, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this walk; the handle state at the
+		// jump target is not modeled. Conservatively end the path.
+		return nil
+	case *ast.GoStmt:
+		// A goroutine body runs asynchronously: opens/closes inside it
+		// are not part of this path (the literal, if any, is analyzed
+		// as an independent body by the outer inspection).
+		return st
+	default:
+		return st
+	}
+}
+
+func (w *pinWalker) switchLike(s ast.Stmt, st *pinState) *pinState {
+	var body *ast.BlockStmt
+	var init ast.Stmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body, init = s.Body, s.Init
+	case *ast.TypeSwitchStmt:
+		body, init = s.Body, s.Init
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	if init != nil {
+		st = w.stmt(init, st)
+		if st == nil {
+			return nil
+		}
+	}
+	var out *pinState
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = cl.Body
+			if cl.Comm == nil {
+				hasDefault = true
+			}
+		}
+		out = mergePinStates(out, w.stmts(stmts, st.clone()))
+	}
+	if !hasDefault {
+		out = mergePinStates(out, st) // no case taken
+	}
+	return out
+}
+
+// assign handles `c := X.AcquireContext()` (open) and ignores other
+// assignments; an acquire stored into anything but a plain local
+// identifier is an ownership transfer and deliberately untracked.
+func (w *pinWalker) assign(s *ast.AssignStmt, st *pinState) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, rhs := range s.Rhs {
+		id, ok := s.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		w.maybeOpen(id, rhs, st)
+	}
+}
+
+func (w *pinWalker) maybeOpen(id *ast.Ident, rhs ast.Expr, st *pinState) {
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	name, _ := w.pairCall(call)
+	if name != "AcquireContext" {
+		return
+	}
+	if id.Name == "_" {
+		w.pass.Report(call.Pos(), "result of AcquireContext assigned to _: the acquired context (and its epoch pin) leaks")
+		return
+	}
+	obj := w.pass.Info.Defs[id]
+	if obj == nil {
+		obj = w.pass.Info.Uses[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	st.handles[v] = &pinHandle{key: v, open: name, pos: call.Pos(), count: 1}
+}
+
+// openPin tracks a PinEpoch bracket keyed by the receiver expression.
+func (w *pinWalker) openPin(call *ast.CallExpr, st *pinState) {
+	key := w.recvKey(call)
+	if key == nil {
+		return
+	}
+	if h, ok := st.handles[key]; ok {
+		h.count++
+		return
+	}
+	st.handles[key] = &pinHandle{key: key, open: "PinEpoch", pos: call.Pos(), count: 1}
+}
+
+// close handles ReleaseContext(c) / c.UnpinEpoch(); closing an
+// untracked handle (e.g. a context received as a parameter) is fine.
+func (w *pinWalker) close(call *ast.CallExpr, st *pinState, isDefer bool) {
+	name, _ := w.pairCall(call)
+	switch name {
+	case "ReleaseContext":
+		if len(call.Args) != 1 {
+			return
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return
+		}
+		v, ok := w.pass.Info.Uses[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if h, ok := st.handles[v]; ok {
+			if isDefer {
+				h.deferred = true
+			} else {
+				delete(st.handles, v)
+			}
+		}
+	case "UnpinEpoch":
+		key := w.recvKey(call)
+		if key == nil {
+			return
+		}
+		if h, ok := st.handles[key]; ok {
+			if isDefer {
+				h.deferred = true
+				return
+			}
+			h.count--
+			if h.count <= 0 {
+				delete(st.handles, key)
+			}
+		}
+	}
+}
+
+func (w *pinWalker) deferStmt(s *ast.DeferStmt, st *pinState) {
+	if name, _ := w.pairCall(s.Call); name != "" {
+		if _, isClose := pinCloses[name]; isClose {
+			w.close(s.Call, st, true)
+			return
+		}
+	}
+	// defer func() { ... e.ReleaseContext(c) ... }(): scan the literal
+	// body for closes of tracked handles.
+	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, _ := w.pairCall(call); name != "" {
+				if _, isClose := pinCloses[name]; isClose {
+					w.close(call, st, true)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (w *pinWalker) checkReturn(st *pinState, pos token.Pos) {
+	for _, h := range st.handles {
+		if h.deferred {
+			continue
+		}
+		p := w.pass.Fset.Position(h.pos)
+		verb := "released"
+		closer := "ReleaseContext"
+		if h.open == "PinEpoch" {
+			verb = "unpinned"
+			closer = "UnpinEpoch"
+		}
+		w.pass.Report(pos, "%s at %s:%d is not %s on this return path (call %s before returning, or defer it)",
+			h.open, p.Filename, p.Line, verb, closer)
+	}
+}
+
+// pairCall classifies a call as one of the tracked pair methods,
+// verifying the receiver's named type when type information resolves
+// (Engine for Acquire/Release, SolveContext for Pin/Unpin).
+func (w *pinWalker) pairCall(call *ast.CallExpr) (name string, recv ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	n := sel.Sel.Name
+	var wantRecv string
+	if p, ok := pinPairs[n]; ok {
+		wantRecv = p.recvType
+	} else if open, ok := pinCloses[n]; ok {
+		wantRecv = pinPairs[open].recvType
+		if n == "UnpinEpoch" {
+			wantRecv = "SolveContext"
+		}
+	} else {
+		return "", nil
+	}
+	s, ok := w.pass.Info.Selections[sel]
+	if !ok {
+		return "", nil // package-qualified call or unresolved: not a method
+	}
+	if named := namedTypeName(s.Recv()); named != wantRecv {
+		return "", nil
+	}
+	return n, sel.X
+}
+
+// recvKey returns a stable handle key for a pin receiver: the variable
+// object for plain identifiers, the printed expression for selectors
+// like a.ctx.
+func (w *pinWalker) recvKey(call *ast.CallExpr) any {
+	sel := call.Fun.(*ast.SelectorExpr)
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if v, ok := w.pass.Info.Uses[id].(*types.Var); ok {
+			return v
+		}
+		return nil
+	}
+	return types.ExprString(sel.X)
+}
+
+func namedTypeName(t types.Type) string {
+	for {
+		switch tt := t.(type) {
+		case *types.Pointer:
+			t = tt.Elem()
+		case *types.Named:
+			return tt.Obj().Name()
+		default:
+			return ""
+		}
+	}
+}

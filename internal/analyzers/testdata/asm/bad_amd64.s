@@ -1,0 +1,17 @@
+// Fixture for the asmvet analyzer: an AVX-bodied block whose RET is
+// not preceded by VZEROUPPER, and an FMA opcode (banned anywhere).
+// The `want` comments are stripped before analysis, like any comment.
+
+// func badDot(x, y []float64) float64
+TEXT ·badDot(SB), 4, $0-56
+	VXORPD    Y0, Y0, Y0
+	VMULPD    Y1, Y2, Y3
+	VADDPD    Y3, Y0, Y0
+	RET // want `RET in AVX-bodied TEXT block not preceded by VZEROUPPER`
+
+// func badFMA(x, y []float64) float64
+TEXT ·badFMA(SB), 4, $0-56
+	VXORPD      Y0, Y0, Y0
+	VFMADD231PD Y1, Y2, Y0 // want `FMA opcode VFMADD231PD`
+	VZEROUPPER
+	RET

@@ -1,0 +1,6 @@
+// Fixture: not an _amd64.s file, so asmvet must skip it entirely even
+// though it contains patterns the amd64 checks would flag.
+
+TEXT ·notChecked(SB), 4, $0-16
+	VFMADD231PD Y1, Y2, Y0
+	RET

@@ -1,0 +1,31 @@
+// Fixture for the asmvet analyzer: compliant forms that must stay
+// silent. This header deliberately mentions VZEROUPPER and VFMADD231PD
+// in prose — comments are stripped before matching, so neither the
+// mention above nor the /* VFMSUB132PD */ inline form below counts.
+
+// func goodDot(x, y []float64) float64
+TEXT ·goodDot(SB), 4, $0-56
+	VXORPD Y0, Y0, Y0
+	VMULPD Y1, Y2, Y3
+	VADDPD Y3, Y0, Y0 /* VFMSUB132PD would fuse this pair */
+	VZEROUPPER
+	RET
+
+// func earlyExit(n int) — a guarded early-out: the shared epilogue is
+// reached through a label, which the checker skips when walking back
+// from RET to the preceding instruction.
+TEXT ·earlyExit(SB), 4, $0-24
+	VXORPD Y0, Y0, Y0
+	TESTQ  CX, CX
+	JZ     done
+	VADDPD Y1, Y0, Y0
+
+done:
+	VZEROUPPER
+	RET
+
+// func scalarTail(p *float64) float64 — no AVX body: a plain RET needs
+// no VZEROUPPER.
+TEXT ·scalarTail(SB), 4, $0-16
+	MOVSD (AX), X0
+	RET

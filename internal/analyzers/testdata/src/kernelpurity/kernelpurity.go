@@ -1,0 +1,41 @@
+// Package kernelpurity is a fixture for the kernelpurity analyzer:
+// its import-path suffix opts it into the internal/kernels determinism
+// rules, and it seeds one violation of each kind next to a compliant
+// kernel body.
+package kernelpurity
+
+import (
+	"math"
+	"math/rand" // want `kernel package imports "math/rand"`
+	"time"      // want `kernel package imports "time"`
+)
+
+var state = map[int]float64{1: 2}
+
+// impureSum trips every in-body rule.
+func impureSum(x []float64) float64 {
+	s := 0.0
+	for k, v := range state { // want `range over map inside kernel package`
+		s += v * float64(k)
+	}
+	seed := rand.Float64() * float64(time.Now().Unix())
+	go func() { // want `goroutine launched inside kernel package`
+		s += seed
+	}()
+	return s + math.FMA(2, 3, 4) // want `math\.FMA fuses mul\+add into one rounding`
+}
+
+// pureDot is the compliant form: straight-line deterministic compute.
+func pureDot(x, y []float64) float64 {
+	var s float64
+	for i := range x {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// FMA is a local name shadowing test: calling a local function named
+// FMA is fine — only math.FMA is banned.
+func FMA(a, b, c float64) float64 { return a*b + c }
+
+func usesLocalFMA(a, b, c float64) float64 { return FMA(a, b, c) }

@@ -1,0 +1,163 @@
+// Package pinpair is a fixture for the pinpair analyzer. Stub Engine
+// and SolveContext types mirror internal/core's epoch-pinning API, and
+// each function exercises one violating or compliant pairing pattern;
+// `// want` comments mark the lines where findings must land.
+package pinpair
+
+import "errors"
+
+// SolveContext mirrors internal/core.SolveContext's pinning surface.
+type SolveContext struct{ pins int }
+
+// PinEpoch mirrors the real pin bracket open.
+func (c *SolveContext) PinEpoch() { c.pins++ }
+
+// UnpinEpoch mirrors the real pin bracket close.
+func (c *SolveContext) UnpinEpoch() { c.pins-- }
+
+// Engine mirrors internal/core.Engine's context pool surface.
+type Engine struct{}
+
+// AcquireContext mirrors the real acquire (pins on acquire).
+func (e *Engine) AcquireContext() *SolveContext {
+	c := &SolveContext{}
+	c.PinEpoch()
+	return c
+}
+
+// ReleaseContext mirrors the real release (unpins on release).
+func (e *Engine) ReleaseContext(c *SolveContext) { c.UnpinEpoch() }
+
+var errFixture = errors.New("fixture")
+
+func work(c *SolveContext) {}
+
+// --- violations ---
+
+// leakOnError releases on the happy path only: the early error return
+// leaks the acquired context.
+func leakOnError(e *Engine, fail bool) error {
+	c := e.AcquireContext()
+	if fail {
+		return errFixture // want `AcquireContext at .*pinpair\.go:\d+ is not released on this return path`
+	}
+	e.ReleaseContext(c)
+	return nil
+}
+
+// discarded drops the acquired context on the floor.
+func discarded(e *Engine) {
+	e.AcquireContext() // want `result of AcquireContext discarded`
+}
+
+// assignedToBlank leaks through the blank identifier.
+func assignedToBlank(e *Engine) {
+	_ = e.AcquireContext() // want `result of AcquireContext assigned to _`
+}
+
+// pinLeakOnBranch unpins on the fall-through path only.
+func pinLeakOnBranch(c *SolveContext, n int) {
+	c.PinEpoch()
+	if n > 0 {
+		return // want `PinEpoch at .*pinpair\.go:\d+ is not unpinned on this return path`
+	}
+	c.UnpinEpoch()
+}
+
+// leakAtEnd never releases at all: flagged at the implicit return when
+// the function falls off its end.
+func leakAtEnd(e *Engine) {
+	c := e.AcquireContext()
+	work(c)
+} // want `AcquireContext at .*pinpair\.go:\d+ is not released on this return path`
+
+// unbalancedNest opens two pin brackets and closes one.
+func unbalancedNest(c *SolveContext) {
+	c.PinEpoch()
+	c.PinEpoch()
+	c.UnpinEpoch()
+} // want `PinEpoch at .*pinpair\.go:\d+ is not unpinned on this return path`
+
+// --- compliant forms ---
+
+// deferRelease covers every path, error or not, with one defer.
+func deferRelease(e *Engine, fail bool) error {
+	c := e.AcquireContext()
+	defer e.ReleaseContext(c)
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// deferFuncLit releases inside a deferred function literal.
+func deferFuncLit(e *Engine) {
+	c := e.AcquireContext()
+	defer func() {
+		e.ReleaseContext(c)
+	}()
+	work(c)
+}
+
+// explicitBothPaths releases explicitly before each return.
+func explicitBothPaths(e *Engine, fail bool) error {
+	c := e.AcquireContext()
+	if fail {
+		e.ReleaseContext(c)
+		return errFixture
+	}
+	e.ReleaseContext(c)
+	return nil
+}
+
+// balancedNest opens and closes matching pin brackets.
+func balancedNest(c *SolveContext) {
+	c.PinEpoch()
+	c.PinEpoch()
+	c.UnpinEpoch()
+	c.UnpinEpoch()
+}
+
+// deferUnpin covers a pin bracket with a defer.
+func deferUnpin(c *SolveContext, fail bool) error {
+	c.PinEpoch()
+	defer c.UnpinEpoch()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// holder models the Applier pattern: ownership of the acquired context
+// transfers out of the function, so no release is required here.
+type holder struct{ c *SolveContext }
+
+func transfer(e *Engine) *holder {
+	return &holder{c: e.AcquireContext()}
+}
+
+// releaseParam releases a context it did not acquire: closing an
+// untracked handle is always fine.
+func releaseParam(e *Engine, c *SolveContext) {
+	e.ReleaseContext(c)
+}
+
+// loopBalanced pins and unpins inside a loop body.
+func loopBalanced(c *SolveContext, n int) {
+	for i := 0; i < n; i++ {
+		c.PinEpoch()
+		work(c)
+		c.UnpinEpoch()
+	}
+}
+
+// switchBalanced releases in every arm of an exhaustive switch.
+func switchBalanced(e *Engine, n int) {
+	c := e.AcquireContext()
+	switch n {
+	case 0:
+		e.ReleaseContext(c)
+	default:
+		e.ReleaseContext(c)
+	}
+}

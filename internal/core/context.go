@@ -170,6 +170,8 @@ func (c *SolveContext) UnpinEpoch() {
 
 // Apply applies the preconditioner in USER ordering: z ≈ A⁻¹ r via
 // z = P⁻¹ U⁻¹ L⁻¹ P r. r and z must have length N and may alias.
+//
+//javelin:noalloc
 func (c *SolveContext) Apply(r, z []float64) {
 	c.enter()
 	defer c.exit()
@@ -197,6 +199,8 @@ func (c *SolveContext) ensureBlk(size int) []float64 {
 // to all k right-hand sides from one cache-resident factor row — one
 // p2p sweep amortized over the whole batch, which is what makes the
 // solve scale like an spmv (paper Section VI's co-design point).
+//
+//javelin:noalloc
 func (c *SolveContext) ApplyBatch(R, Z [][]float64) {
 	k := len(R)
 	if k != len(Z) {
@@ -245,6 +249,7 @@ func (c *SolveContext) SolveUpperBatch(B, X [][]float64) {
 	c.batchSolve(B, X, (*SolveContext).solveUpperBlock)
 }
 
+//javelin:noalloc
 func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []float64, int)) {
 	k := len(B)
 	if k != len(X) {
@@ -280,6 +285,13 @@ func (c *SolveContext) batchSolve(B, X [][]float64, block func(*SolveContext, []
 // micro-kernel. Batch work scales with k, so the adaptive cutoff
 // gets 2·nnz·k: a batch big enough can go parallel even when the
 // single-vector solve of the same factor stays inline.
+//
+// Like SolveLower, the closures handed to the runtime are created
+// only on the parallel branch; the Threads==1 and sub-cutoff inline
+// paths run open-coded loops over the same kernel calls in the same
+// order (bitwise identical, and allocation-free).
+//
+//javelin:noalloc
 func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
@@ -295,16 +307,17 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	par := e.rt.ParallelWorth(e.solveOps * int64(k))
 	// Upper stage under the forward p2p schedule (or inline ascending,
 	// a valid forward topological order — bitwise identical).
-	rowBody := func(r int) {
-		lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
-		kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, lo, dp)
-	}
 	nUp, n := e.split.NUpper, e.n
 	if par {
-		c.runL.Execute(rowBody)
+		//javelin:alloc-ok parallel dispatch handoff; the inline path below allocates nothing
+		c.runL.Execute(func(r int) {
+			lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
+			kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, lo, dp)
+		})
 	} else {
 		for r := 0; r < nUp; r++ {
-			rowBody(r)
+			lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
+			kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, lo, dp)
 		}
 	}
 	if nUp == n {
@@ -313,21 +326,32 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	// Lower stage, part 1: L(lower, upper)·x contribution, tiled
 	// (spans are row-disjoint → race-free).
 	lp := e.lower
-	tileBody := func(t tileRange) {
-		for si := t.lo; si < t.hi; si++ {
+	if par {
+		//javelin:alloc-ok parallel dispatch handoff
+		e.runTiles(lp.solveTiles, func(t tileRange) {
+			for si := t.lo; si < t.hi; si++ {
+				sp := lp.solveSpans[si]
+				kt.PanelUpdate(xb, k, xb[sp.row*k:sp.row*k+k], vals, lu.ColIdx, sp.kLo, sp.kHi)
+			}
+		})
+	} else {
+		// Tiles partition the span list contiguously in order, so the
+		// inline walk is one flat span loop — no closure, no per-tile
+		// call.
+		for si := range lp.solveSpans {
 			sp := lp.solveSpans[si]
 			kt.PanelUpdate(xb, k, xb[sp.row*k:sp.row*k+k], vals, lu.ColIdx, sp.kLo, sp.kHi)
 		}
 	}
-	e.runTilesIf(par, lp.solveTiles, tileBody)
 	// Lower stage, part 2: corner, group-parallel. The corner entries
 	// of row r are the precomputed contiguous suffix
 	// [cornerStart[r-nUp], DiagPos[r]), so the row goes through the
 	// same panel micro-kernel as every other stage.
-	cornerBody := func(r int) {
-		kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, e.cornerStart[r-nUp], e.factor.DiagPos[r])
-	}
 	if par {
+		//javelin:alloc-ok parallel dispatch handoff
+		cornerBody := func(r int) {
+			kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, e.cornerStart[r-nUp], e.factor.DiagPos[r])
+		}
 		for g := 0; g < e.split.NumLowerLevels(); g++ {
 			lo := nUp + e.split.LowerLvlPtr[g]
 			hi := nUp + e.split.LowerLvlPtr[g+1]
@@ -336,7 +360,7 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 	} else {
 		// Groups are contiguous and ascending: one plain sweep.
 		for r := nUp; r < n; r++ {
-			cornerBody(r)
+			kt.PanelUpdate(xb, k, xb[r*k:r*k+k], vals, lu.ColIdx, e.cornerStart[r-nUp], e.factor.DiagPos[r])
 		}
 	}
 }
@@ -344,46 +368,50 @@ func (c *SolveContext) solveLowerBlock(xb []float64, k int) {
 // solveUpperBlock is the batched backward substitution on the packed
 // n×k block, mirroring SolveUpper (corner groups descending, then the
 // backward p2p schedule over upper rows — or both stages inline below
-// the adaptive cutoff, bitwise identically).
+// the adaptive cutoff, bitwise identically). The row body closure is
+// created only when the parallel branch is taken; the serial and
+// inline sweeps open-code the same two kernel calls per row.
+//
+//javelin:noalloc
 func (c *SolveContext) solveUpperBlock(xb []float64, k int) {
 	e := c.e
 	lu := e.factor.LU
 	vals := c.vals
 	kt := e.kt
-	rowBody := func(r int) {
-		dp := e.factor.DiagPos[r]
-		xr := xb[r*k : r*k+k]
-		kt.PanelUpdate(xb, k, xr, vals, lu.ColIdx, dp+1, lu.RowPtr[r+1])
-		kt.Scale(1/vals[dp], xr)
-	}
 	if e.opt.Threads == 1 {
 		for r := e.n - 1; r >= 0; r-- {
-			rowBody(r)
+			dp := e.factor.DiagPos[r]
+			xr := xb[r*k : r*k+k]
+			kt.PanelUpdate(xb, k, xr, vals, lu.ColIdx, dp+1, lu.RowPtr[r+1])
+			kt.Scale(1/vals[dp], xr)
 		}
 		return
 	}
 	par := e.rt.ParallelWorth(e.solveOps * int64(k))
 	nUp, n := e.split.NUpper, e.n
-	if nUp < n {
-		if par {
-			for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
-				lo := nUp + e.split.LowerLvlPtr[g]
-				hi := nUp + e.split.LowerLvlPtr[g+1]
-				e.parallelRows(lo, hi, rowBody)
-			}
-		} else {
-			// Rows within a group are independent; groups contiguous
-			// descending → one backward sweep.
-			for r := n - 1; r >= nUp; r-- {
-				rowBody(r)
-			}
-		}
-	}
 	if par {
-		c.runU.Execute(rowBody)
-	} else {
-		for r := nUp - 1; r >= 0; r-- {
-			rowBody(r)
+		//javelin:alloc-ok parallel dispatch handoff; the inline path below allocates nothing
+		rowBody := func(r int) {
+			dp := e.factor.DiagPos[r]
+			xr := xb[r*k : r*k+k]
+			kt.PanelUpdate(xb, k, xr, vals, lu.ColIdx, dp+1, lu.RowPtr[r+1])
+			kt.Scale(1/vals[dp], xr)
 		}
+		for g := e.split.NumLowerLevels() - 1; g >= 0; g-- {
+			lo := nUp + e.split.LowerLvlPtr[g]
+			hi := nUp + e.split.LowerLvlPtr[g+1]
+			e.parallelRows(lo, hi, rowBody)
+		}
+		c.runU.Execute(rowBody)
+		return
+	}
+	// Rows within a corner group are independent and the groups are
+	// contiguous descending → one backward sweep; descending order over
+	// the upper rows is likewise a valid backward topological order.
+	for r := n - 1; r >= 0; r-- {
+		dp := e.factor.DiagPos[r]
+		xr := xb[r*k : r*k+k]
+		kt.PanelUpdate(xb, k, xr, vals, lu.ColIdx, dp+1, lu.RowPtr[r+1])
+		kt.Scale(1/vals[dp], xr)
 	}
 }

@@ -42,6 +42,8 @@ func (e *Engine) ApplyBatch(R, Z [][]float64) { e.defCtx.ApplyBatch(R, Z) }
 // own duration only; when pairing SolveLower with SolveUpper under
 // concurrent Refactorize, bracket the pair with PinEpoch/UnpinEpoch
 // so both halves use one factor generation.
+//
+//javelin:noalloc
 func (c *SolveContext) SolveLower(b, x []float64) {
 	c.enter()
 	defer c.exit()
@@ -67,6 +69,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 	// order (a valid forward topological order) as one sweep kernel.
 	nUp, n := e.split.NUpper, e.n
 	if par {
+		//javelin:alloc-ok parallel dispatch handoff; the inline path allocates nothing
 		c.runL.Execute(func(r int) {
 			lo, dp := lu.RowPtr[r], e.factor.DiagPos[r]
 			x[r] = kt.SubGather(x[r], vals[lo:dp], lu.ColIdx[lo:dp], x)
@@ -85,6 +88,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 	lp := e.lower
 	cols := lu.ColIdx
 	if par {
+		//javelin:alloc-ok parallel dispatch handoff
 		e.runTiles(lp.solveTiles, func(t tileRange) {
 			for si := t.lo; si < t.hi; si++ {
 				sp := lp.solveSpans[si]
@@ -116,6 +120,7 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 	dps := e.factor.DiagPos
 	cs := e.cornerStart
 	if par {
+		//javelin:alloc-ok parallel dispatch handoff
 		cornerBody := func(r int) {
 			s := x[r]
 			for k := cs[r-nUp]; k < dps[r]; k++ {
@@ -149,6 +154,8 @@ func (c *SolveContext) SolveLower(b, x []float64) {
 // cutoff, the same stages inline (bitwise identical; see SolveLower).
 // See SolveLower's note on PinEpoch when pairing the two under
 // concurrent Refactorize.
+//
+//javelin:noalloc
 func (c *SolveContext) SolveUpper(b, x []float64) {
 	c.enter()
 	defer c.exit()
@@ -165,6 +172,7 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 	}
 	nUp, n := e.split.NUpper, e.n
 	if e.solvePar {
+		//javelin:alloc-ok parallel dispatch handoff
 		rowBody := func(r int) {
 			dp := e.factor.DiagPos[r]
 			hi := lu.RowPtr[r+1]
@@ -192,6 +200,8 @@ func (c *SolveContext) SolveUpper(b, x []float64) {
 // parallelRows runs body(r) for r in [lo, hi) as a dynamic region on
 // the engine's runtime, falling back to inline execution for small
 // ranges where even block claiming costs more than the work.
+//
+//javelin:noalloc
 func (e *Engine) parallelRows(lo, hi int, body func(r int)) {
 	n := hi - lo
 	if n <= 0 {
@@ -203,6 +213,7 @@ func (e *Engine) parallelRows(lo, hi int, body func(r int)) {
 		}
 		return
 	}
+	//javelin:alloc-ok parallel dispatch handoff (the re-indexing shim escapes with the region)
 	e.rt.ForDynamic(n, e.opt.Threads, 8, func(i int) {
 		body(lo + i)
 	})

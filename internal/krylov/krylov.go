@@ -103,6 +103,8 @@ func (o Options) withDefaults(n int) Options {
 // CG solves A·x = b with preconditioned conjugate gradients. A must
 // be symmetric positive definite for the theory to hold; x holds the
 // initial guess on entry and the solution on exit.
+//
+//javelin:noalloc
 func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
 	n := a.N
 	if err := checkSystem(n, b, x); err != nil {
@@ -158,6 +160,8 @@ func CG(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, er
 }
 
 // GMRES solves A·x = b with left-preconditioned restarted GMRES(m).
+//
+//javelin:noalloc
 func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats, error) {
 	n := a.N
 	if err := checkSystem(n, b, x); err != nil {

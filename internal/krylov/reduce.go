@@ -103,6 +103,8 @@ func (rd *reducer) run(nb int, block func(b int)) {
 }
 
 // Dot returns xᵀy by deterministic blocked summation.
+//
+//javelin:noalloc
 func (rd *reducer) Dot(x, y []float64) float64 {
 	n := len(x)
 	if n <= reduceBlock {
@@ -121,6 +123,8 @@ func (rd *reducer) Dot(x, y []float64) float64 {
 }
 
 // Norm2 returns ‖x‖₂ by deterministic blocked summation of squares.
+//
+//javelin:noalloc
 func (rd *reducer) Norm2(x []float64) float64 {
 	n := len(x)
 	if n <= reduceBlock {

@@ -274,6 +274,8 @@ func (s *Solver) Method() Method { return s.method }
 // *SolveError carrying the SolverStats at the stopping point;
 // non-convergence within MaxIter is reported as ErrNotConverged (x
 // still holds the best iterate, and the attached stats its residual).
+//
+//javelin:noalloc
 func (s *Solver) Solve(ctx context.Context, b, x []float64) (SolverStats, error) {
 	ws, _ := s.wsPool.Get().(*SolverWorkspace)
 	if ws == nil {
@@ -287,6 +289,8 @@ func (s *Solver) Solve(ctx context.Context, b, x []float64) (SolverStats, error)
 // preconditioner context drawn from the engine's pool for the
 // duration of the call (the identity when unpreconditioned). The
 // single place per-call contexts are acquired.
+//
+//javelin:noalloc
 func (s *Solver) solvePooledPC(ctx context.Context, ws *SolverWorkspace, b, x []float64) (SolverStats, error) {
 	var pc krylov.Preconditioner = krylov.Identity{}
 	if s.p != nil {
