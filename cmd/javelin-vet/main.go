@@ -1,17 +1,19 @@
 // Command javelin-vet runs the repo's custom static-analysis suite
-// (internal/analyzers): pinpair, kernelpurity, asmvet, hotalloc. It is
-// dependency-free — packages are loaded with `go list` and type-checked
-// with stdlib go/types against build-cache export data — so it runs
-// anywhere the go toolchain does, with go.mod kept at zero requires.
+// (internal/analyzers): pinpair, kernelpurity, asmvet, hotalloc,
+// atomicvet, lockvet, ctxloop, and noallocgraph. It is dependency-free
+// — packages are loaded with `go list` and type-checked with stdlib
+// go/types against build-cache export data — so it runs anywhere the
+// go toolchain does, with go.mod kept at zero requires.
 //
 // Usage:
 //
 //	javelin-vet [flags] [packages]
 //
 // Packages default to ./... . Each analyzer has an enable/disable flag
-// (-pinpair, -kernelpurity, -asmvet, -hotalloc; all default true).
-// With -json, findings are emitted as a JSON array on stdout instead
-// of file:line text. Exit status: 0 clean, 1 findings, 2 usage or
+// named after it (all default true). With -json, findings are emitted
+// as a JSON array on stdout instead of file:line text. Findings are
+// sorted by file, line, column, analyzer, so output is byte-identical
+// across runs. Exit status: 0 clean, 1 findings, 2 usage or
 // load/analysis error.
 package main
 
@@ -64,6 +66,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// Module analyzers see the whole loaded set at once (call-graph
+	// checks that cross package boundaries).
+	for _, a := range analyzers.All() {
+		if a.RunModule == nil || !*enabled[a.Name] {
+			continue
+		}
+		if err := analyzers.RunModuleAnalyzer(a, pkgs, &findings); err != nil {
+			fmt.Fprintf(stderr, "javelin-vet: %v\n", err)
+			return 2
+		}
+	}
+	analyzers.SortFindings(findings)
 
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)

@@ -60,6 +60,59 @@ func TestJSONOutput(t *testing.T) {
 	}
 }
 
+// TestDeterministicOutput runs the full suite over several seeded
+// fixture packages at once — exercising per-package analyzers, the
+// module-wide noallocgraph, and the escape-analysis-backed checks —
+// and asserts the output is byte-identical across runs and sorted by
+// file then line (analyzer maps and package load order must not leak
+// into the report).
+func TestDeterministicOutput(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "analyzers", "testdata", "src")
+	args := []string{"-dir", dir, "-json",
+		"./pinpair", "./lockvet", "./atomicvet", "./hotalloc", "./noallocgraph"}
+
+	outputs := make([]string, 2)
+	for i := range outputs {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("run %d: exit %d on seeded fixtures, want 1\nstderr:\n%s",
+				i, code, stderr.String())
+		}
+		outputs[i] = stdout.String()
+	}
+	if outputs[0] != outputs[1] {
+		t.Fatalf("output differs between runs:\n--- first ---\n%s\n--- second ---\n%s",
+			outputs[0], outputs[1])
+	}
+
+	var findings []struct {
+		Analyzer string `json:"analyzer"`
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+	}
+	if err := json.Unmarshal([]byte(outputs[0]), &findings); err != nil {
+		t.Fatalf("-json output not a JSON array: %v\n%s", err, outputs[0])
+	}
+	if len(findings) == 0 {
+		t.Fatal("seeded fixtures produced no findings")
+	}
+	analyzers := map[string]bool{}
+	for i, f := range findings {
+		analyzers[f.Analyzer] = true
+		if i == 0 {
+			continue
+		}
+		prev := findings[i-1]
+		if f.File < prev.File || (f.File == prev.File && f.Line < prev.Line) {
+			t.Errorf("findings out of order: %s:%d after %s:%d",
+				f.File, f.Line, prev.File, prev.Line)
+		}
+	}
+	if len(analyzers) < 3 {
+		t.Errorf("expected findings from several analyzers, got %v", analyzers)
+	}
+}
+
 func TestBadFlag(t *testing.T) {
 	var stdout, stderr bytes.Buffer
 	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {

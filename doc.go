@@ -246,9 +246,13 @@
 //   - kernelpurity — the bitwise-identity contract, Go side: kernel
 //     bodies in internal/kernels must not use math.FMA, iterate maps,
 //     launch goroutines, or import time/math/rand.
-//   - asmvet — the bitwise-identity contract, assembly side: no FMA
-//     opcode anywhere in *_amd64.s, and every RET of an AVX-bodied
-//     TEXT block must be immediately preceded by VZEROUPPER.
+//   - asmvet — the bitwise-identity contract, assembly side: hand-
+//     written *_GOARCH.s files are checked against arch-keyed opcode
+//     tables (amd64 and arm64 today; unknown architectures are
+//     skipped). No fused-multiply-add opcode may appear anywhere, and
+//     on amd64 every RET of an AVX-bodied TEXT block must be
+//     immediately preceded by VZEROUPPER (the AVX→SSE transition
+//     hazard is amd64-specific).
 //   - hotalloc — the allocation-free warm path: functions annotated
 //     //javelin:noalloc (Solver.Solve, Applier.Apply, the context
 //     Apply/ApplyBatch/solve paths, kernel bodies, krylov reductions)
@@ -257,10 +261,62 @@
 //     Deliberate allocations on cold branches (e.g. the closure handed
 //     to the parallel dispatcher) carry a //javelin:alloc-ok waiver
 //     with a reason.
+//   - atomicvet — one synchronization discipline per field: a field
+//     accessed through the sync/atomic API anywhere must never be
+//     read or written plainly elsewhere; a field of an atomic.* type
+//     must only be used through its methods or by address; and a
+//     field annotated //javelin:plain-under-mu <mu> is verified
+//     flow-sensitively to be touched only with the named mutex held
+//     on every path — how the runtime's park-path counters stay plain
+//     (an atomic RMW there tips the spin-to-park transition) without
+//     giving up machine checking.
+//   - lockvet — mutex discipline in the execution runtime and
+//     everywhere else: every Lock/RLock reaches its Unlock/RUnlock on
+//     every return path (defer-aware; the *Locked naming convention
+//     pre-holds the receiver's mutexes), re-locking a held mutex and
+//     unlocking an unheld one are reported, and the static
+//     lock-acquisition-order graph over mutex classes (Runtime.mu,
+//     deque.mu, ...) must stay acyclic — a cycle is a deadlock some
+//     concurrent schedule can reach.
+//   - ctxloop — the cancellation-latency promise ("within one
+//     iteration of cancel"): every for loop in the krylov solvers
+//     must reach a Ctx check (Options.step, Options.ctxErr, or
+//     Ctx.Err directly) before its first kernel-scale call
+//     (Options.matVec, a Preconditioner Apply, anything in spmv) on
+//     every path through an iteration. Vector primitives are exempt —
+//     their cost is a vector, not a matrix.
+//   - noallocgraph — hotalloc, transitively: from every
+//     //javelin:noalloc root, each statically reachable same-module
+//     callee must itself be //javelin:noalloc, carry an
+//     //javelin:alloc-ok waiver (on the callee's doc or at the call
+//     site), or be proven allocation-free by the same escape-analysis
+//     evidence — recursively, so an innocent-looking helper that
+//     allocates cannot hide two calls down from a noalloc entry point.
+//
+// Three //javelin:* directives carry the machine-checked contracts:
+//
+//	//javelin:noalloc             on a function's doc comment: the body
+//	                              is allocation-free on the warm path.
+//	                              hotalloc checks the body, noallocgraph
+//	                              the static call graph beneath it.
+//	//javelin:alloc-ok <reason>   waives one deliberate allocation, with
+//	                              a reason. On the line of (or above) an
+//	                              allocation or call site it accepts
+//	                              that site; on a function's doc comment
+//	                              it accepts the whole function as a
+//	                              deliberate cold path.
+//	//javelin:plain-under-mu <mu> on a struct field: the field is
+//	                              deliberately plain because the named
+//	                              sibling mutex field guards every
+//	                              access. atomicvet proves the claim
+//	                              flow-sensitively and rejects mixed
+//	                              atomic/plain use.
 //
 // `go run ./cmd/javelin-vet ./...` exits nonzero on any finding
 // (-json for machine-readable output, per-analyzer flags to narrow);
-// new code — in particular new kernel variants — must pass the suite.
+// findings are sorted by file, line, and analyzer, so reruns are
+// byte-identical. New code — in particular new kernel variants and
+// new locking — must pass the suite.
 //
 // The internal packages hold the substrates (sparse structures, level
 // scheduling, p2p synchronization, the execution runtime, orderings,

@@ -10,13 +10,25 @@
 //     stay deterministic — no math.FMA (contracts a mul+add into one
 //     rounding), no map iteration (nondeterministic order), no
 //     goroutine launches, no time/math/rand imports.
-//   - asmvet: the *_amd64.s assembly must issue VZEROUPPER before
-//     every RET of an AVX-bodied TEXT block and must not contain any
-//     FMA opcode anywhere (the no-FMA bitwise-identity rule enforced
-//     at the opcode level).
+//   - asmvet: hand-written assembly checked against arch-keyed opcode
+//     tables — no FMA opcode anywhere (the no-FMA bitwise-identity
+//     rule enforced at the opcode level), and on amd64 VZEROUPPER
+//     before every RET of an AVX-bodied TEXT block.
 //   - hotalloc: functions annotated //javelin:noalloc must not contain
 //     direct heap-allocation sites, verified against the compiler's
 //     own escape analysis (go build -gcflags=-m).
+//   - atomicvet: no mixed atomic/plain access to a field; atomic-typed
+//     fields used only through their API; //javelin:plain-under-mu
+//     claims verified flow-sensitively against the held-lock state.
+//   - lockvet: Lock/Unlock paired on every return path (defer-aware,
+//     *Locked convention honored), and the static lock-acquisition-
+//     order graph over mutex classes must stay acyclic.
+//   - ctxloop: every for loop in the krylov solvers reaches a Ctx
+//     check before its first kernel-scale call, keeping the
+//     cancel-within-one-iteration promise.
+//   - noallocgraph (module-wide): every same-module callee statically
+//     reachable from a //javelin:noalloc root is itself noalloc,
+//     waived with //javelin:alloc-ok, or proven clean by escape data.
 //
 // The suite is dependency-free by design: packages are loaded with
 // `go list`, parsed with go/parser, and type-checked with go/types
@@ -30,6 +42,7 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
@@ -86,24 +99,96 @@ func (p *Pass) ReportAt(file string, line, col int, format string, args ...any) 
 	})
 }
 
-// Analyzer is one named check over a loaded package.
+// SortFindings orders findings by file, line, column, analyzer, then
+// message, so driver output (text and -json alike) is deterministic
+// regardless of analyzer order, package load order, or map iteration
+// inside individual analyzers.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Analyzer is one named check over a loaded package, or — when
+// RunModule is set instead of Run — one check over the whole loaded
+// package set at once (for call-graph analyses that cross package
+// boundaries, like noallocgraph).
 type Analyzer struct {
 	Name string
 	Doc  string
 	// AppliesTo reports whether the analyzer runs on the package with
-	// the given import path (nil: every package).
+	// the given import path (nil: every package). Ignored for module
+	// analyzers.
 	AppliesTo func(pkgPath string) bool
 	Run       func(*Pass) error
+	RunModule func(*ModulePass) error
 }
 
 // All returns the full suite in fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{PinPair, KernelPurity, AsmVet, HotAlloc}
+	return []*Analyzer{PinPair, KernelPurity, AsmVet, HotAlloc, AtomicVet, LockVet, CtxLoop, NoAllocGraph}
+}
+
+// ModulePass carries the whole loaded package set through one module
+// analyzer run.
+type ModulePass struct {
+	Name string
+	Pkgs []*Package
+
+	findings *[]Finding
+}
+
+// ReportAt records a finding at an explicit file position.
+func (p *ModulePass) ReportAt(file string, line, col int, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Name,
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Report records a finding at a token position resolved through the
+// owning package's FileSet.
+func (p *ModulePass) Report(fset *token.FileSet, pos token.Pos, format string, args ...any) {
+	pp := fset.Position(pos)
+	p.ReportAt(pp.Filename, pp.Line, pp.Column, format, args...)
+}
+
+// RunModuleAnalyzer runs a module analyzer over the loaded package
+// set, appending findings to out.
+func RunModuleAnalyzer(a *Analyzer, pkgs []*Package, out *[]Finding) error {
+	if a.RunModule == nil {
+		return nil
+	}
+	pass := &ModulePass{Name: a.Name, Pkgs: pkgs, findings: out}
+	if err := a.RunModule(pass); err != nil {
+		return fmt.Errorf("%s: %w", a.Name, err)
+	}
+	return nil
 }
 
 // RunAnalyzer runs a on pkg, appending findings to out. Packages the
-// analyzer does not apply to are skipped silently.
+// analyzer does not apply to are skipped silently; module analyzers
+// (Run nil) are skipped here and run through RunModuleAnalyzer.
 func RunAnalyzer(a *Analyzer, pkg *Package, out *[]Finding) error {
+	if a.Run == nil {
+		return nil
+	}
 	if a.AppliesTo != nil && !a.AppliesTo(pkg.PkgPath) {
 		return nil
 	}

@@ -93,10 +93,64 @@ func runFixture(t *testing.T, a *Analyzer, dir string) []Finding {
 	return findings
 }
 
+// runModuleFixture loads the fixture package in dir and runs the
+// module analyzer a over the loaded set.
+func runModuleFixture(t *testing.T, a *Analyzer, dir string) []Finding {
+	t.Helper()
+	pkgs, err := Load(dir, []string{"."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var findings []Finding
+	if err := RunModuleAnalyzer(a, pkgs, &findings); err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
 func TestPinPairFixture(t *testing.T) {
 	dir := filepath.Join("testdata", "src", "pinpair")
 	findings := runFixture(t, PinPair, dir)
 	checkFindings(t, findings, filepath.Join(dir, "pinpair.go"))
+}
+
+func TestPinPairEdgeFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "pinpair_edge")
+	findings := runFixture(t, PinPair, dir)
+	checkFindings(t, findings, filepath.Join(dir, "pinpair_edge.go"))
+}
+
+func TestAtomicVetFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "atomicvet")
+	findings := runFixture(t, AtomicVet, dir)
+	checkFindings(t, findings, filepath.Join(dir, "atomicvet.go"))
+}
+
+func TestLockVetFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "lockvet")
+	findings := runFixture(t, LockVet, dir)
+	checkFindings(t, findings, filepath.Join(dir, "lockvet.go"))
+}
+
+func TestCtxLoopFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "ctxloop")
+	findings := runFixture(t, CtxLoop, dir)
+	checkFindings(t, findings, filepath.Join(dir, "ctxloop.go"))
+}
+
+func TestCtxLoopSkipsOtherPackages(t *testing.T) {
+	// The cancellation contract is scoped to the krylov package: loops
+	// elsewhere are out of scope.
+	dir := filepath.Join("testdata", "src", "pinpair")
+	if findings := runFixture(t, CtxLoop, dir); len(findings) != 0 {
+		t.Fatalf("ctxloop ran outside internal/krylov: %v", findings)
+	}
+}
+
+func TestNoAllocGraphFixture(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "noallocgraph")
+	findings := runModuleFixture(t, NoAllocGraph, dir)
+	checkFindings(t, findings, filepath.Join(dir, "noallocgraph.go"))
 }
 
 func TestKernelPurityFixture(t *testing.T) {
@@ -124,6 +178,8 @@ func TestAsmVetFixtures(t *testing.T) {
 	for _, file := range []string{
 		filepath.Join("testdata", "asm", "bad_amd64.s"),
 		filepath.Join("testdata", "asm", "good_amd64.s"),
+		filepath.Join("testdata", "asm", "bad_arm64.s"),
+		filepath.Join("testdata", "asm", "good_arm64.s"),
 	} {
 		var findings []Finding
 		pkg := &Package{PkgPath: "asmfixture", SFiles: []string{file}}
@@ -134,17 +190,17 @@ func TestAsmVetFixtures(t *testing.T) {
 	}
 }
 
-func TestAsmVetSkipsNonAmd64(t *testing.T) {
-	// The checker is amd64-specific by contract: other architectures'
-	// assembly is out of scope.
+func TestAsmVetSkipsUnknownArch(t *testing.T) {
+	// Architectures without a rule table are out of scope: the riscv64
+	// fixture's FMADDD must not be flagged.
 	var findings []Finding
 	pkg := &Package{PkgPath: "asmfixture", SFiles: []string{
-		filepath.Join("testdata", "asm", "bad_arm64.s"),
+		filepath.Join("testdata", "asm", "skip_riscv64.s"),
 	}}
 	if err := RunAnalyzer(AsmVet, pkg, &findings); err != nil {
 		t.Fatal(err)
 	}
 	if len(findings) != 0 {
-		t.Fatalf("asmvet checked a non-amd64 file: %v", findings)
+		t.Fatalf("asmvet checked an unknown-arch file: %v", findings)
 	}
 }

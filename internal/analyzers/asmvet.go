@@ -3,21 +3,29 @@ package analyzers
 import (
 	"bufio"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
-// AsmVet is a text/lexical checker for *_amd64.s files, covering the
-// two assembly-level contracts stdlib asmdecl knows nothing about:
+// AsmVet is a text/lexical checker for the repo's hand-written
+// assembly, covering the contracts stdlib asmdecl knows nothing about.
+// Files are keyed by their GOARCH filename suffix (kernels_amd64.s,
+// kernels_arm64.s, ...) and checked against that architecture's rule
+// table; architectures without a table are skipped, not failed.
 //
-//  1. Every RET in an AVX-bodied TEXT block must be immediately
-//     preceded by VZEROUPPER (skipping blank lines and labels).
-//     Leaving the upper YMM halves dirty on return imposes an
-//     AVX→SSE transition penalty on every caller until the next
-//     VZEROUPPER — a silent, hard-to-profile slowdown.
-//  2. No FMA opcode (VFMADD*/VFNMADD*/VFMSUB*/VFNMSUB*) may appear
-//     anywhere. FMA contracts a multiply and add into a single
+//  1. No fused-multiply-add opcode may appear anywhere, on any
+//     checked architecture (amd64 VFMADD*/VFNMADD*/VFMSUB*/VFNMSUB*;
+//     arm64 FMADD*/FMSUB*/FNMADD*/FNMSUB* and the vector FMLA/FMLS
+//     family). FMA contracts a multiply and add into a single
 //     rounding, which breaks the bitwise-identity contract between
 //     kernel variants.
+//  2. amd64 only: every RET in an AVX-bodied TEXT block must be
+//     immediately preceded by VZEROUPPER (skipping blank lines and
+//     labels). Leaving the upper YMM halves dirty on return imposes
+//     an AVX→SSE transition penalty on every caller until the next
+//     VZEROUPPER — a silent, hard-to-profile slowdown. No other
+//     architecture has this state-transition hazard, so the rule is
+//     keyed to amd64 alone.
 //
 // Comments (both // and /* */) are stripped before matching, so prose
 // mentioning an opcode does not count. A TEXT block is "AVX-bodied"
@@ -26,16 +34,58 @@ import (
 // themselves).
 var AsmVet = &Analyzer{
 	Name: "asmvet",
-	Doc:  "*_amd64.s: VZEROUPPER before every RET of an AVX-bodied TEXT block; no FMA opcodes anywhere",
+	Doc:  "per-GOARCH assembly contracts: no FMA opcodes anywhere; amd64 VZEROUPPER before every RET of an AVX-bodied TEXT block",
 	Run:  runAsmVet,
+}
+
+// asmRules is one architecture's opcode rule table.
+type asmRules struct {
+	// fmaPrefixes: a mnemonic starting with any of these is a banned
+	// fused multiply-add.
+	fmaPrefixes []string
+	// vzeroupper: enforce the VZEROUPPER-before-RET rule (the AVX/SSE
+	// transition hazard is amd64-specific).
+	vzeroupper bool
+}
+
+// asmArchRules keys rule tables by GOARCH filename suffix. An
+// architecture absent here is out of scope and its files are skipped
+// (the riscv64 port, should one appear, gets a table when its kernels
+// do).
+var asmArchRules = map[string]*asmRules{
+	"amd64": {
+		fmaPrefixes: []string{"VFMADD", "VFNMADD", "VFMSUB", "VFNMSUB"},
+		vzeroupper:  true,
+	},
+	"arm64": {
+		// Scalar FMADD/FMSUB/FNMADD/FNMSUB (D/S suffixed) and the
+		// NEON FMLA/FMLS family (vector forms carry a V prefix in Go
+		// syntax; FMLAL/FMLSL widening forms share the prefix).
+		fmaPrefixes: []string{
+			"FMADD", "FMSUB", "FNMADD", "FNMSUB",
+			"FMLA", "FMLS", "VFMLA", "VFMLS",
+		},
+	},
+}
+
+// asmFileArch extracts the GOARCH suffix from an assembly filename
+// ("kernels_amd64.s" → "amd64"; "" when the name carries no suffix).
+func asmFileArch(path string) string {
+	base := strings.TrimSuffix(filepath.Base(path), ".s")
+	i := strings.LastIndexByte(base, '_')
+	if i < 0 {
+		return ""
+	}
+	return base[i+1:]
 }
 
 func runAsmVet(pass *Pass) error {
 	for _, sf := range pass.SFiles {
-		if !strings.HasSuffix(sf, "_amd64.s") {
+		rules := asmArchRules[asmFileArch(sf)]
+		if rules == nil {
 			continue
 		}
-		if err := vetAsmFile(pass, sf); err != nil {
+		if err := vetAsmFile(pass, sf, rules); err != nil {
 			return err
 		}
 	}
@@ -44,8 +94,13 @@ func runAsmVet(pass *Pass) error {
 
 // VetAsmFile checks one assembly file outside the package-loading
 // path; the fixture tests use it to drive asmvet over raw .s files.
+// Files whose architecture has no rule table are skipped silently.
 func VetAsmFile(pass *Pass, path string) error {
-	return vetAsmFile(pass, path)
+	rules := asmArchRules[asmFileArch(path)]
+	if rules == nil {
+		return nil
+	}
+	return vetAsmFile(pass, path, rules)
 }
 
 type asmLine struct {
@@ -53,7 +108,7 @@ type asmLine struct {
 	text string // comment-stripped, trimmed
 }
 
-func vetAsmFile(pass *Pass, path string) error {
+func vetAsmFile(pass *Pass, path string, rules *asmRules) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -75,7 +130,7 @@ func vetAsmFile(pass *Pass, path string) error {
 	// Split into TEXT blocks and check each.
 	blockStart := -1
 	flush := func(end int) {
-		if blockStart >= 0 {
+		if blockStart >= 0 && rules.vzeroupper {
 			vetTextBlock(pass, path, lines[blockStart:end])
 		}
 	}
@@ -85,7 +140,7 @@ func vetAsmFile(pass *Pass, path string) error {
 			blockStart = i
 		}
 		// The FMA ban applies file-wide, TEXT block or not.
-		if op := opcodeOf(ln.text); isFMAOpcode(op) {
+		if op := opcodeOf(ln.text); isFMAOpcode(op, rules) {
 			pass.ReportAt(path, ln.num, 0, "FMA opcode %s: fused mul+add is a single rounding and breaks bitwise identity between kernel variants", op)
 		}
 	}
@@ -147,11 +202,13 @@ func isAVXOpcode(op string) bool {
 	return !strings.HasPrefix(op, "VZERO")
 }
 
-func isFMAOpcode(op string) bool {
-	return strings.HasPrefix(op, "VFMADD") ||
-		strings.HasPrefix(op, "VFNMADD") ||
-		strings.HasPrefix(op, "VFMSUB") ||
-		strings.HasPrefix(op, "VFNMSUB")
+func isFMAOpcode(op string, rules *asmRules) bool {
+	for _, p := range rules.fmaPrefixes {
+		if strings.HasPrefix(op, p) {
+			return true
+		}
+	}
+	return false
 }
 
 // stripAsmComments removes // line comments and /* */ block comments,

@@ -1,0 +1,182 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces the Krylov cancellation contract (Options.Ctx is
+// "checked at the top of every iteration: once it is canceled the
+// solve returns within one iteration of cancel"): inside every for
+// loop of the krylov package, a context check must be reachable before
+// the first kernel call on every path through one iteration. Without
+// it, a canceled solve keeps burning matvecs until the loop happens to
+// pass a check — on a large system that is seconds of dead work per
+// restart cycle, and the session API's cancel latency promise breaks.
+//
+// A context check is a call to Options.step or Options.ctxErr (both
+// consult Ctx.Err first), or a direct Err() call on a context.Context
+// value. A kernel call is Options.matVec, a Preconditioner Apply, or
+// any call into the spmv package — the operations whose cost scales
+// with the matrix. Vector primitives (Dot, Norm2, Axpy, Scale) are
+// deliberately not kernel calls: they appear in inner recurrence and
+// Gram–Schmidt loops whose whole point is to run between checks, and
+// their cost is a vector, not a matrix.
+//
+// Loops with no kernel calls pass vacuously; nested loops are checked
+// both on their own iteration (the inner loop must re-check if it
+// calls kernels) and as part of the enclosing loop's path.
+var CtxLoop = &Analyzer{
+	Name:      "ctxloop",
+	Doc:       "krylov iteration loops check Ctx before the first kernel call of every iteration",
+	AppliesTo: isKrylovPackage,
+	Run:       runCtxLoop,
+}
+
+func isKrylovPackage(pkgPath string) bool {
+	return strings.HasSuffix(pkgPath, "internal/krylov") ||
+		strings.HasSuffix(pkgPath, "testdata/src/ctxloop")
+}
+
+func runCtxLoop(pass *Pass) error {
+	reported := map[token.Pos]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			var pos token.Pos
+			switch l := n.(type) {
+			case *ast.ForStmt:
+				body, pos = l.Body, l.Pos()
+			case *ast.RangeStmt:
+				body, pos = l.Body, l.Pos()
+			default:
+				return true
+			}
+			a := &ctxAnalysis{pass: pass, loopLine: pass.Fset.Position(pos).Line, reported: reported}
+			walkBody(a, body, &ctxState{})
+			return true // nested loops get their own check
+		})
+	}
+	return nil
+}
+
+type ctxState struct {
+	checked bool
+}
+
+// ctxAnalysis is the flowAnalysis for one loop body: checked becomes
+// true once a context check has executed on the current path, and a
+// kernel call while unchecked is a finding.
+type ctxAnalysis struct {
+	pass     *Pass
+	loopLine int
+	reported map[token.Pos]bool
+}
+
+func (a *ctxAnalysis) clone(st any) any {
+	c := *st.(*ctxState)
+	return &c
+}
+
+func (a *ctxAnalysis) merge(x, y any) any {
+	if x == nil {
+		return y
+	}
+	if y == nil {
+		return x
+	}
+	// Checked only counts when every merged-in path checked.
+	return &ctxState{checked: x.(*ctxState).checked && y.(*ctxState).checked}
+}
+
+func (a *ctxAnalysis) stmt(s ast.Stmt, st any) any {
+	a.scan(s, st.(*ctxState))
+	return st
+}
+
+func (a *ctxAnalysis) expr(e ast.Expr, st any) { a.scan(e, st.(*ctxState)) }
+
+func (a *ctxAnalysis) ret(st any, pos token.Pos) {}
+
+// scan visits a statement or expression in evaluation order, flipping
+// checked at context checks and reporting kernel calls reached first.
+func (a *ctxAnalysis) scan(n ast.Node, st *ctxState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // runs when called, not where defined
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case a.isCtxCheck(call):
+			st.checked = true
+		case !st.checked:
+			if kernel := a.kernelCall(call); kernel != "" {
+				if !a.reported[call.Pos()] {
+					a.reported[call.Pos()] = true
+					a.pass.Report(call.Pos(), "kernel call %s can run before the iteration's Ctx check in the loop at line %d (check Options.step or Options.ctxErr first: cancel must land within one iteration)",
+						kernel, a.loopLine)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isCtxCheck recognizes the checks that satisfy the contract.
+func (a *ctxAnalysis) isCtxCheck(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "step", "ctxErr":
+		s, ok := a.pass.Info.Selections[sel]
+		return ok && namedTypeName(s.Recv()) == "Options"
+	case "Err":
+		tv, ok := a.pass.Info.Types[sel.X]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		named, ok := tv.Type.(*types.Named)
+		if !ok {
+			return false
+		}
+		obj := named.Obj()
+		return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+	}
+	return false
+}
+
+// kernelCall classifies matrix-scale calls, returning a display name
+// ("" when not a kernel call).
+func (a *ctxAnalysis) kernelCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if s, ok := a.pass.Info.Selections[sel]; ok {
+		recv := namedTypeName(s.Recv())
+		if sel.Sel.Name == "matVec" && recv == "Options" {
+			return "Options.matVec"
+		}
+		if sel.Sel.Name == "Apply" && recv == "Preconditioner" {
+			return "Preconditioner.Apply"
+		}
+		return ""
+	}
+	// Package-qualified call: anything out of the spmv package.
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := a.pass.Info.Uses[id].(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			if p == "spmv" || strings.HasSuffix(p, "/spmv") {
+				return "spmv." + sel.Sel.Name
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,187 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the shared branch-merge statement walker extracted from
+// pinpair (PR 8): a lightweight forward flow analysis over a function
+// body's statement structure, without building a CFG. Branches are
+// analyzed independently and merged, loops account for the
+// zero-iteration path, and break/continue/goto conservatively end the
+// analyzed path (the jump target's state is not modeled). The wave-2
+// analyzers — lockvet's Lock/Unlock pairing, atomicvet's
+// mutex-held-at-access verification, ctxloop's check-before-kernel
+// ordering — all instantiate this walker with their own state type, so
+// every flow-sensitive check in the suite agrees on how control flow
+// is approximated.
+//
+// The contract:
+//
+//   - state values are opaque to the walker; the analysis supplies
+//     clone (branching) and merge (joining). merge must treat a nil
+//     input as "path terminated" and return the other input.
+//   - stmt handles the non-control statements (assignments, calls,
+//     defers, declarations, sends, increments, ...). Returning nil
+//     terminates the path (e.g. for panic calls).
+//   - expr is invoked for the scrutinee expressions control flow
+//     evaluates itself: if/for/switch conditions, switch tags, range
+//     operands, and return results. Analyses that inspect expressions
+//     (atomicvet, ctxloop) hook here; others leave it empty.
+//   - ret observes every explicit return statement and, via walkBody,
+//     the implicit return at a fall-through function end.
+//
+// Function literals are NOT descended into: each analysis decides
+// whether to treat a FuncLit as an independent body (pinpair, lockvet)
+// or scan it specially (pinpair's defer'd-closure handling).
+type flowAnalysis interface {
+	clone(st any) any
+	merge(a, b any) any
+	stmt(s ast.Stmt, st any) any
+	expr(e ast.Expr, st any)
+	ret(st any, pos token.Pos)
+}
+
+// walkBody runs the analysis over one function body from entry state
+// st, reporting the fall-through end as an implicit return.
+func walkBody(a flowAnalysis, body *ast.BlockStmt, st any) {
+	if out := flowStmts(a, body.List, st); out != nil {
+		a.ret(out, body.End())
+	}
+}
+
+// flowStmts walks a statement list, threading st through it. It
+// returns the fall-through state, or nil when every path terminated
+// (return, panic, or a branch statement leaving this walk).
+func flowStmts(a flowAnalysis, list []ast.Stmt, st any) any {
+	for _, s := range list {
+		if st == nil {
+			return nil
+		}
+		st = flowStmt(a, s, st)
+	}
+	return st
+}
+
+func flowStmt(a flowAnalysis, s ast.Stmt, st any) any {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return flowStmts(a, s.List, st)
+	case *ast.LabeledStmt:
+		return flowStmt(a, s.Stmt, st)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			a.expr(r, st)
+		}
+		a.ret(st, s.Pos())
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st = flowStmt(a, s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		a.expr(s.Cond, st)
+		thenOut := flowStmts(a, s.Body.List, a.clone(st))
+		var elseOut any
+		if s.Else != nil {
+			elseOut = flowStmt(a, s.Else, a.clone(st))
+		} else {
+			elseOut = st
+		}
+		return a.merge(thenOut, elseOut)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st = flowStmt(a, s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		if s.Cond != nil {
+			a.expr(s.Cond, st)
+		}
+		bodyOut := flowStmts(a, s.Body.List, a.clone(st))
+		if s.Cond == nil && bodyOut == nil {
+			// `for { ... }` with no fall-through: nothing follows.
+			return nil
+		}
+		return a.merge(bodyOut, st) // zero-iteration path
+	case *ast.RangeStmt:
+		a.expr(s.X, st)
+		bodyOut := flowStmts(a, s.Body.List, a.clone(st))
+		return a.merge(bodyOut, st)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			st = flowStmt(a, s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		if s.Tag != nil {
+			a.expr(s.Tag, st)
+		}
+		return flowClauses(a, s.Body, nil, st)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			st = flowStmt(a, s.Init, st)
+			if st == nil {
+				return nil
+			}
+		}
+		return flowClauses(a, s.Body, s.Assign, st)
+	case *ast.SelectStmt:
+		return flowClauses(a, s.Body, nil, st)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this walk; the state at the jump
+		// target is not modeled. Conservatively end the path.
+		return nil
+	default:
+		return a.stmt(s, st)
+	}
+}
+
+// flowClauses walks the case/comm clauses of a switch-like statement:
+// each clause starts from a clone of the entry state, and the no-case
+// path is merged in unless a default clause exists. scrut, when
+// non-nil, is the type-switch assign statement, run once before the
+// clauses.
+func flowClauses(a flowAnalysis, body *ast.BlockStmt, scrut ast.Stmt, st any) any {
+	if scrut != nil {
+		st = flowStmt(a, scrut, st)
+		if st == nil {
+			return nil
+		}
+	}
+	hasDefault := false
+	var out any
+	for _, cl := range body.List {
+		var stmts []ast.Stmt
+		entry := a.clone(st)
+		switch cl := cl.(type) {
+		case *ast.CaseClause:
+			for _, e := range cl.List {
+				a.expr(e, st)
+			}
+			stmts = cl.Body
+			if cl.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			if cl.Comm != nil {
+				entry = flowStmt(a, cl.Comm, entry)
+			} else {
+				hasDefault = true
+			}
+			stmts = cl.Body
+		}
+		if entry != nil {
+			out = a.merge(out, flowStmts(a, stmts, entry))
+		}
+	}
+	if !hasDefault {
+		out = a.merge(out, st) // no case taken
+	}
+	return out
+}

@@ -1,0 +1,425 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file is the shared lock-held tracking layer over the flow
+// walker: a forward analysis whose state is the set of mutexes held on
+// the current path. lockvet consumes the acquire/release/leak events
+// (pairing and the lock-order graph); atomicvet consumes the per-node
+// access events (is the declared guard held where a plain-under-mu
+// field is touched).
+//
+// Mutex instances are identified by the printed receiver expression
+// ("r.mu", "d.mu", "mu") — within one function body, syntactically
+// identical lock expressions are the same lock, which matches how the
+// codebase writes lock code (no aliasing of mutex pointers through
+// locals). Each instance also carries a class — "Runtime.mu" — the
+// declaring named type and field, when the lock expression is a field
+// selector on a typed base; classes are the nodes of lockvet's
+// acquisition-order graph. Read locks (RLock/RUnlock) pair
+// independently of write locks on the same instance.
+//
+// The "Locked" suffix convention is honored: a method whose name ends
+// in Locked is called with its receiver's mutex(es) held by contract,
+// so its entry state pre-holds every sync.Mutex/sync.RWMutex field of
+// the receiver's struct. Unlocking a contract-held mutex is an event
+// of its own (lockvet reports it — the function would release a lock
+// its caller still thinks it holds).
+
+// heldLock is one mutex held on the current path.
+type heldLock struct {
+	instance string // printed lock expression, e.g. "r.mu" ("#r" suffix for read locks)
+	class    string // "Type.field" for struct-field mutexes, "" otherwise
+	pos      token.Pos
+	deferred bool // an unlock is defer-scheduled; held until return, then released
+	preheld  bool // held on entry by the *Locked naming contract
+	maybe    bool // held on only some of the merged-in paths
+}
+
+type lockState struct {
+	held map[string]*heldLock
+}
+
+func newLockState() *lockState { return &lockState{held: map[string]*heldLock{}} }
+
+func (s *lockState) cloneState() *lockState {
+	c := newLockState()
+	for k, h := range s.held {
+		hc := *h
+		c.held[k] = &hc
+	}
+	return c
+}
+
+// snapshot returns the held locks in deterministic instance order.
+func (s *lockState) snapshot() []*heldLock {
+	out := make([]*heldLock, 0, len(s.held))
+	for _, h := range s.held {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].instance < out[j].instance })
+	return out
+}
+
+// holds reports whether the instance is held (write or read side).
+func (s *lockState) holds(instance string) bool {
+	if _, ok := s.held[instance]; ok {
+		return true
+	}
+	_, ok := s.held[instance+"#r"]
+	return ok
+}
+
+// mergeLockStates joins two branch exit states: a lock held on either
+// path stays in the set (marked maybe when the paths disagree), and a
+// deferred release survives only if scheduled on both.
+func mergeLockStates(a, b *lockState) *lockState {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	m := newLockState()
+	for k, h := range a.held {
+		hc := *h
+		if o, ok := b.held[k]; ok {
+			hc.deferred = hc.deferred && o.deferred
+			hc.maybe = hc.maybe || o.maybe
+		} else {
+			hc.maybe = true
+		}
+		m.held[k] = &hc
+	}
+	for k, h := range b.held {
+		if _, ok := m.held[k]; !ok {
+			hc := *h
+			hc.maybe = true
+			m.held[k] = &hc
+		}
+	}
+	return m
+}
+
+// lockHooks are the event callbacks a lock-flow client installs; any
+// of them may be nil.
+type lockHooks struct {
+	// acquire fires when a Lock/RLock succeeds, with the locks already
+	// held at that point (deterministic order, the new lock excluded).
+	acquire func(lk *heldLock, heldBefore []*heldLock)
+	// doubleLock fires when a path re-locks an instance it already
+	// holds (self-deadlock for plain mutexes). Suppressed when the
+	// prior hold is only a maybe (ambiguous merge).
+	doubleLock func(lk *heldLock, prev *heldLock)
+	// badUnlock fires on an unlock of an instance that is not held
+	// (pre nil) or held only by the *Locked entry contract (pre set).
+	badUnlock func(instance string, pos token.Pos, pre *heldLock)
+	// leak fires at a return while a non-deferred, non-contract lock is
+	// still held.
+	leak func(lk *heldLock, pos token.Pos)
+	// access fires for every expression node reached on the path, with
+	// the current state (query st.holds). Function literals are not
+	// descended.
+	access func(n ast.Node, st *lockState)
+	// call fires for every statically resolved call on the path, with
+	// the locks held around it. Calls inside go statements do not fire
+	// (the spawned goroutine does not inherit the holder's locks).
+	call func(fn *types.Func, held []*heldLock, pos token.Pos)
+}
+
+// lockWalker implements flowAnalysis over lockState.
+type lockWalker struct {
+	pass  *Pass
+	hooks lockHooks
+	// topLevel is false inside function literal bodies, where the entry
+	// lock context is unknown: unlock-of-unheld is not reported there.
+	topLevel bool
+}
+
+func asLockState(st any) *lockState {
+	if st == nil {
+		return nil
+	}
+	return st.(*lockState)
+}
+
+func (w *lockWalker) clone(st any) any { return asLockState(st).cloneState() }
+
+func (w *lockWalker) merge(a, b any) any {
+	m := mergeLockStates(asLockState(a), asLockState(b))
+	if m == nil {
+		return nil
+	}
+	return m
+}
+
+func (w *lockWalker) expr(e ast.Expr, st any) { w.scan(e, asLockState(st)) }
+
+func (w *lockWalker) ret(st any, pos token.Pos) {
+	s := asLockState(st)
+	for _, h := range s.snapshot() {
+		if h.deferred || h.preheld {
+			continue
+		}
+		if w.hooks.leak != nil {
+			w.hooks.leak(h, pos)
+		}
+	}
+}
+
+func (w *lockWalker) stmt(s ast.Stmt, stAny any) any {
+	st := asLockState(stAny)
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				w.scan(s, st)
+				return nil
+			}
+			if op, le := w.mutexOp(call); op != "" {
+				w.applyLockOp(op, le, call.Pos(), st)
+				return st
+			}
+		}
+		w.scan(s, st)
+	case *ast.DeferStmt:
+		if op, le := w.mutexOp(s.Call); op != "" {
+			if op == "Unlock" || op == "RUnlock" {
+				w.deferUnlock(op, le, st)
+			}
+			return st
+		}
+		// The deferred call's arguments are evaluated now; the call
+		// itself runs at return, and a literal body is analyzed as an
+		// independent function.
+		for _, a := range s.Call.Args {
+			w.scan(a, st)
+		}
+	case *ast.GoStmt:
+		// Arguments are evaluated on this path, but the spawned call
+		// runs on another goroutine that does not inherit held locks:
+		// no call event, no lock ops.
+		for _, a := range s.Call.Args {
+			w.scan(a, st)
+		}
+	default:
+		w.scan(s, st)
+	}
+	return st
+}
+
+// scan fires access/call events for every node of a non-control
+// statement or expression, without descending into function literals.
+func (w *lockWalker) scan(n ast.Node, st *lockState) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return false
+		}
+		if w.hooks.access != nil {
+			w.hooks.access(n, st)
+		}
+		if call, ok := n.(*ast.CallExpr); ok && w.hooks.call != nil {
+			if fn := staticCallee(w.pass.Info, call); fn != nil {
+				w.hooks.call(fn, st.snapshot(), call.Pos())
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) applyLockOp(op string, lockExpr ast.Expr, pos token.Pos, st *lockState) {
+	key := types.ExprString(lockExpr)
+	if op == "RLock" || op == "RUnlock" {
+		key += "#r"
+	}
+	switch op {
+	case "Lock", "RLock":
+		if prev, ok := st.held[key]; ok {
+			if !prev.maybe && w.hooks.doubleLock != nil {
+				w.hooks.doubleLock(&heldLock{instance: key, pos: pos}, prev)
+			}
+			return
+		}
+		lk := &heldLock{
+			instance: key,
+			class:    lockClass(w.pass.Info, lockExpr),
+			pos:      pos,
+		}
+		if w.hooks.acquire != nil {
+			w.hooks.acquire(lk, st.snapshot())
+		}
+		st.held[key] = lk
+	case "Unlock", "RUnlock":
+		prev, ok := st.held[key]
+		if !ok {
+			if w.topLevel && w.hooks.badUnlock != nil {
+				w.hooks.badUnlock(key, pos, nil)
+			}
+			return
+		}
+		if prev.preheld && w.hooks.badUnlock != nil {
+			w.hooks.badUnlock(key, pos, prev)
+		}
+		delete(st.held, key)
+	}
+}
+
+func (w *lockWalker) deferUnlock(op string, lockExpr ast.Expr, st *lockState) {
+	key := types.ExprString(lockExpr)
+	if op == "RUnlock" {
+		key += "#r"
+	}
+	if h, ok := st.held[key]; ok {
+		h.deferred = true
+	}
+}
+
+// mutexOp classifies a call as a mutex operation: "Lock", "Unlock",
+// "RLock" or "RUnlock" on a sync.Mutex or sync.RWMutex value, plus the
+// lock expression (the method receiver). Returns "" otherwise.
+func (w *lockWalker) mutexOp(call *ast.CallExpr) (op string, lockExpr ast.Expr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", nil
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", nil
+	}
+	s, ok := w.pass.Info.Selections[sel]
+	if !ok {
+		return "", nil
+	}
+	if !isSyncMutexType(s.Recv()) {
+		return "", nil
+	}
+	return sel.Sel.Name, sel.X
+}
+
+func isSyncMutexType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// lockClass resolves "Type.field" for a lock expression that is a
+// field selector on a value of a named struct type; "" for locals,
+// globals, and anything more exotic.
+func lockClass(info *types.Info, lockExpr ast.Expr) string {
+	sel, ok := lockExpr.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return ""
+	}
+	name := namedTypeName(tv.Type)
+	if name == "" {
+		return ""
+	}
+	return name + "." + sel.Sel.Name
+}
+
+// staticCallee resolves the *types.Func a call statically dispatches
+// to: plain function calls and method calls on concrete receivers.
+// Interface-method and function-value calls return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if sel.Kind() == types.MethodVal {
+				if fn, ok := sel.Obj().(*types.Func); ok {
+					// Interface dispatch is not static.
+					if _, isIface := sel.Recv().Underlying().(*types.Interface); !isIface {
+						return fn
+					}
+				}
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Fn.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// entryLockState builds the initial state for a function declaration:
+// a method whose name ends in "Locked" pre-holds every mutex field of
+// its receiver's struct, per the calling convention.
+func entryLockState(info *types.Info, fn *ast.FuncDecl) *lockState {
+	st := newLockState()
+	if !strings.HasSuffix(fn.Name.Name, "Locked") {
+		return st
+	}
+	if fn.Recv == nil || len(fn.Recv.List) != 1 || len(fn.Recv.List[0].Names) != 1 {
+		return st
+	}
+	recvName := fn.Recv.List[0].Names[0].Name
+	if recvName == "_" {
+		return st
+	}
+	recvObj := info.Defs[fn.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return st
+	}
+	t := recvObj.Type()
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return st
+	}
+	strct, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return st
+	}
+	for i := 0; i < strct.NumFields(); i++ {
+		f := strct.Field(i)
+		if !isSyncMutexType(f.Type()) {
+			continue
+		}
+		key := recvName + "." + f.Name()
+		st.held[key] = &heldLock{
+			instance: key,
+			class:    named.Obj().Name() + "." + f.Name(),
+			pos:      fn.Pos(),
+			preheld:  true,
+		}
+	}
+	return st
+}

@@ -17,15 +17,19 @@ import (
 // factor-value epoch alive forever: the retired buffer can never
 // recycle and a refactorize-heavy steady state grows without bound.
 //
-// The check is flow-sensitive over the function's statement structure:
-// branches are analyzed independently and merged (a handle released in
-// only one arm stays open), loops account for the zero-iteration path,
-// and defers cover every return after the defer statement. Ownership
-// transfers are out of scope by design: an acquire whose result is
-// stored in a struct field, returned, or passed to another function is
-// not tracked (the Applier pattern — release happens in another
-// method), and releasing a context received as a parameter is never
-// required. Function literals are analyzed as independent bodies.
+// The check is flow-sensitive over the function's statement structure
+// (the shared branch-merge walker in flow.go): branches are analyzed
+// independently and merged (a handle released in only one arm stays
+// open), loops account for the zero-iteration path, and defers cover
+// every return after the defer statement. A close inside a defer'd
+// function literal counts only when it executes on every path through
+// the literal — an early return before the close leaves the handle
+// uncovered. Ownership transfers are out of scope by design: an
+// acquire whose result is stored in a struct field, returned, or
+// passed to another function is not tracked (the Applier pattern —
+// release happens in another method), and releasing a context received
+// as a parameter is never required. Function literals are analyzed as
+// independent bodies.
 var PinPair = &Analyzer{
 	Name: "pinpair",
 	Doc:  "AcquireContext/ReleaseContext and PinEpoch/UnpinEpoch paired on every return path",
@@ -73,11 +77,7 @@ func runPinPair(pass *Pass) error {
 				return true
 			}
 			w := &pinWalker{pass: pass}
-			out := w.stmts(body.List, newPinState())
-			if out != nil {
-				// Fall-through function end = implicit return.
-				w.checkReturn(out, body.End())
-			}
+			walkBody(w, body, newPinState())
 			return true // descend: nested FuncLits analyzed independently
 		})
 	}
@@ -99,7 +99,7 @@ type pinState struct {
 
 func newPinState() *pinState { return &pinState{handles: map[any]*pinHandle{}} }
 
-func (s *pinState) clone() *pinState {
+func (s *pinState) cloneState() *pinState {
 	c := newPinState()
 	for k, h := range s.handles {
 		hc := *h
@@ -108,8 +108,9 @@ func (s *pinState) clone() *pinState {
 	return c
 }
 
-// merge combines the exit states of two branches: a handle open on
-// either path stays open, and is defer-covered only if covered on both.
+// mergePinStates combines the exit states of two branches: a handle
+// open on either path stays open, and is defer-covered only if covered
+// on both.
 func mergePinStates(a, b *pinState) *pinState {
 	if a == nil {
 		return b
@@ -137,32 +138,37 @@ func mergePinStates(a, b *pinState) *pinState {
 	return m
 }
 
+// pinWalker implements flowAnalysis over pinState.
 type pinWalker struct {
 	pass *Pass
 }
 
-// stmts walks a statement list, threading st through it. It returns
-// the fall-through state, or nil when every path terminated (return,
-// panic, or a branch statement leaving this walk).
-func (w *pinWalker) stmts(list []ast.Stmt, st *pinState) *pinState {
-	for _, s := range list {
-		if st == nil {
-			return nil
-		}
-		st = w.stmt(s, st)
+func asPinState(st any) *pinState {
+	if st == nil {
+		return nil
 	}
-	return st
+	return st.(*pinState)
 }
 
-func (w *pinWalker) stmt(s ast.Stmt, st *pinState) *pinState {
+func (w *pinWalker) clone(st any) any { return asPinState(st).cloneState() }
+
+func (w *pinWalker) merge(a, b any) any {
+	m := mergePinStates(asPinState(a), asPinState(b))
+	if m == nil {
+		return nil
+	}
+	return m
+}
+
+func (w *pinWalker) expr(e ast.Expr, st any) {}
+
+func (w *pinWalker) ret(st any, pos token.Pos) { w.checkReturn(asPinState(st), pos) }
+
+func (w *pinWalker) stmt(s ast.Stmt, stAny any) any {
+	st := asPinState(stAny)
 	switch s := s.(type) {
-	case *ast.BlockStmt:
-		return w.stmts(s.List, st)
-	case *ast.LabeledStmt:
-		return w.stmt(s.Stmt, st)
 	case *ast.AssignStmt:
 		w.assign(s, st)
-		return st
 	case *ast.DeclStmt:
 		if gd, ok := s.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -173,7 +179,6 @@ func (w *pinWalker) stmt(s ast.Stmt, st *pinState) *pinState {
 				w.maybeOpen(vs.Names[0], vs.Values[0], st)
 			}
 		}
-		return st
 	case *ast.ExprStmt:
 		call, ok := s.X.(*ast.CallExpr)
 		if !ok {
@@ -193,99 +198,14 @@ func (w *pinWalker) stmt(s ast.Stmt, st *pinState) *pinState {
 			}
 			w.close(call, st, false)
 		}
-		return st
 	case *ast.DeferStmt:
 		w.deferStmt(s, st)
-		return st
-	case *ast.ReturnStmt:
-		w.checkReturn(st, s.Pos())
-		return nil
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st = w.stmt(s.Init, st)
-			if st == nil {
-				return nil
-			}
-		}
-		thenOut := w.stmts(s.Body.List, st.clone())
-		var elseOut *pinState
-		if s.Else != nil {
-			elseOut = w.stmt(s.Else, st.clone())
-		} else {
-			elseOut = st
-		}
-		return mergePinStates(thenOut, elseOut)
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st = w.stmt(s.Init, st)
-			if st == nil {
-				return nil
-			}
-		}
-		bodyOut := w.stmts(s.Body.List, st.clone())
-		if s.Cond == nil && bodyOut == nil {
-			// `for { ... }` with no fall-through: nothing follows.
-			return nil
-		}
-		return mergePinStates(bodyOut, st) // zero-iteration path
-	case *ast.RangeStmt:
-		bodyOut := w.stmts(s.Body.List, st.clone())
-		return mergePinStates(bodyOut, st)
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return w.switchLike(s, st)
-	case *ast.BranchStmt:
-		// break/continue/goto leave this walk; the handle state at the
-		// jump target is not modeled. Conservatively end the path.
-		return nil
-	case *ast.GoStmt:
-		// A goroutine body runs asynchronously: opens/closes inside it
-		// are not part of this path (the literal, if any, is analyzed
-		// as an independent body by the outer inspection).
-		return st
-	default:
-		return st
 	}
-}
-
-func (w *pinWalker) switchLike(s ast.Stmt, st *pinState) *pinState {
-	var body *ast.BlockStmt
-	var init ast.Stmt
-	hasDefault := false
-	switch s := s.(type) {
-	case *ast.SwitchStmt:
-		body, init = s.Body, s.Init
-	case *ast.TypeSwitchStmt:
-		body, init = s.Body, s.Init
-	case *ast.SelectStmt:
-		body = s.Body
-	}
-	if init != nil {
-		st = w.stmt(init, st)
-		if st == nil {
-			return nil
-		}
-	}
-	var out *pinState
-	for _, cl := range body.List {
-		var stmts []ast.Stmt
-		switch cl := cl.(type) {
-		case *ast.CaseClause:
-			stmts = cl.Body
-			if cl.List == nil {
-				hasDefault = true
-			}
-		case *ast.CommClause:
-			stmts = cl.Body
-			if cl.Comm == nil {
-				hasDefault = true
-			}
-		}
-		out = mergePinStates(out, w.stmts(stmts, st.clone()))
-	}
-	if !hasDefault {
-		out = mergePinStates(out, st) // no case taken
-	}
-	return out
+	// GoStmt: a goroutine body runs asynchronously — opens/closes
+	// inside it are not part of this path (the literal, if any, is
+	// analyzed as an independent body by the outer inspection). All
+	// other simple statements leave the state unchanged.
+	return st
 }
 
 // assign handles `c := X.AcquireContext()` (open) and ignores other
@@ -341,44 +261,54 @@ func (w *pinWalker) openPin(call *ast.CallExpr, st *pinState) {
 	st.handles[key] = &pinHandle{key: key, open: "PinEpoch", pos: call.Pos(), count: 1}
 }
 
-// close handles ReleaseContext(c) / c.UnpinEpoch(); closing an
-// untracked handle (e.g. a context received as a parameter) is fine.
-func (w *pinWalker) close(call *ast.CallExpr, st *pinState, isDefer bool) {
+// closeKey resolves the handle key a close call targets: the argument
+// variable for ReleaseContext(c), the receiver for c.UnpinEpoch().
+// nil when the call does not resolve to a trackable handle.
+func (w *pinWalker) closeKey(call *ast.CallExpr) any {
 	name, _ := w.pairCall(call)
 	switch name {
 	case "ReleaseContext":
 		if len(call.Args) != 1 {
-			return
+			return nil
 		}
 		id, ok := call.Args[0].(*ast.Ident)
 		if !ok {
-			return
+			return nil
 		}
 		v, ok := w.pass.Info.Uses[id].(*types.Var)
 		if !ok {
-			return
+			return nil
 		}
-		if h, ok := st.handles[v]; ok {
-			if isDefer {
-				h.deferred = true
-			} else {
-				delete(st.handles, v)
-			}
-		}
+		return v
 	case "UnpinEpoch":
-		key := w.recvKey(call)
-		if key == nil {
-			return
-		}
-		if h, ok := st.handles[key]; ok {
-			if isDefer {
-				h.deferred = true
-				return
-			}
-			h.count--
-			if h.count <= 0 {
-				delete(st.handles, key)
-			}
+		return w.recvKey(call)
+	}
+	return nil
+}
+
+// close handles ReleaseContext(c) / c.UnpinEpoch(); closing an
+// untracked handle (e.g. a context received as a parameter) is fine.
+func (w *pinWalker) close(call *ast.CallExpr, st *pinState, isDefer bool) {
+	name, _ := w.pairCall(call)
+	key := w.closeKey(call)
+	if key == nil {
+		return
+	}
+	h, ok := st.handles[key]
+	if !ok {
+		return
+	}
+	if isDefer {
+		h.deferred = true
+		return
+	}
+	switch name {
+	case "ReleaseContext":
+		delete(st.handles, key)
+	case "UnpinEpoch":
+		h.count--
+		if h.count <= 0 {
+			delete(st.handles, key)
 		}
 	}
 }
@@ -390,21 +320,107 @@ func (w *pinWalker) deferStmt(s *ast.DeferStmt, st *pinState) {
 			return
 		}
 	}
-	// defer func() { ... e.ReleaseContext(c) ... }(): scan the literal
-	// body for closes of tracked handles.
+	// defer func() { ... e.ReleaseContext(c) ... }(): a close inside
+	// the literal covers a handle only when it executes on every path
+	// through the literal body — a close behind an early return or in
+	// only one branch arm does not.
 	if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
+		for key := range w.allPathsCloses(lit.Body) {
+			if h, ok := st.handles[key]; ok {
+				h.deferred = true
 			}
-			if name, _ := w.pairCall(call); name != "" {
-				if _, isClose := pinCloses[name]; isClose {
-					w.close(call, st, true)
-				}
+		}
+	}
+}
+
+// allPathsCloses returns the handle keys whose close calls execute on
+// every exit path of body (the body of a defer'd function literal).
+func (w *pinWalker) allPathsCloses(body *ast.BlockStmt) map[any]bool {
+	c := &closeCollector{w: w}
+	walkBody(c, body, map[any]bool{})
+	if c.exits == nil {
+		return map[any]bool{}
+	}
+	return c.exits
+}
+
+// closeCollector is a flowAnalysis whose state is the set of handle
+// keys closed so far on the current path; exits accumulates the
+// intersection over every exit path.
+type closeCollector struct {
+	w     *pinWalker
+	exits map[any]bool // nil until the first exit is seen
+}
+
+func asCloseSet(st any) map[any]bool {
+	if st == nil {
+		return nil
+	}
+	return st.(map[any]bool)
+}
+
+func (c *closeCollector) clone(st any) any {
+	m := map[any]bool{}
+	for k := range asCloseSet(st) {
+		m[k] = true
+	}
+	return m
+}
+
+func (c *closeCollector) merge(a, b any) any {
+	sa, sb := asCloseSet(a), asCloseSet(b)
+	if sa == nil {
+		if sb == nil {
+			return nil
+		}
+		return sb
+	}
+	if sb == nil {
+		return sa
+	}
+	m := map[any]bool{}
+	for k := range sa {
+		if sb[k] {
+			m[k] = true
+		}
+	}
+	return m
+}
+
+func (c *closeCollector) expr(e ast.Expr, st any) {}
+
+func (c *closeCollector) stmt(s ast.Stmt, st any) any {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return st
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return st
+	}
+	if name, _ := c.w.pairCall(call); name != "" {
+		if _, isClose := pinCloses[name]; isClose {
+			if key := c.w.closeKey(call); key != nil {
+				asCloseSet(st)[key] = true
 			}
-			return true
-		})
+		}
+	}
+	return st
+}
+
+func (c *closeCollector) ret(st any, pos token.Pos) {
+	set := asCloseSet(st)
+	if c.exits == nil {
+		c.exits = map[any]bool{}
+		for k := range set {
+			c.exits[k] = true
+		}
+		return
+	}
+	for k := range c.exits {
+		if !set[k] {
+			delete(c.exits, k)
+		}
 	}
 }
 

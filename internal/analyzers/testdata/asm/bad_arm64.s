@@ -1,6 +1,19 @@
-// Fixture: not an _amd64.s file, so asmvet must skip it entirely even
-// though it contains patterns the amd64 checks would flag.
+// Fixture for asmvet's arm64 rule table: scalar and NEON fused
+// multiply-adds are banned (single rounding breaks bitwise identity
+// between kernel variants). No VZEROUPPER rule applies here — the
+// AVX/SSE transition hazard is amd64-specific — so the bare RETs
+// below are fine.
 
-TEXT ·notChecked(SB), 4, $0-16
-	VFMADD231PD Y1, Y2, Y0
+// func badScalarFMA(x, y, acc float64) float64
+TEXT ·badScalarFMA(SB), 4, $0-32
+	FMOVD  x+0(FP), F0
+	FMOVD  y+8(FP), F1
+	FMOVD  acc+16(FP), F2
+	FMADDD F0, F2, F1, F3 // want `FMA opcode FMADDD`
+	FMOVD  F3, ret+24(FP)
+	RET
+
+// func badVectorFMA(p *float64)
+TEXT ·badVectorFMA(SB), 4, $0-8
+	VFMLA V1.D2, V2.D2, V0.D2 // want `FMA opcode VFMLA`
 	RET

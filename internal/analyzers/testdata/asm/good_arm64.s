@@ -1,0 +1,24 @@
+// Fixture for asmvet's arm64 rule table: compliant forms that must
+// stay silent. This header deliberately mentions FMADDD and VFMLA in
+// prose — comments are stripped before matching. The split
+// multiply-then-add below (two roundings) is the bitwise-identity
+// discipline the FMA ban enforces, and FMAXD shares a prefix letter
+// with the banned family without being fused.
+
+// func goodDot(x, y, acc float64) float64
+TEXT ·goodDot(SB), 4, $0-32
+	FMOVD x+0(FP), F0
+	FMOVD y+8(FP), F1
+	FMOVD acc+16(FP), F2
+	FMULD F0, F1, F3 /* FMADDD would fuse this pair */
+	FADDD F3, F2, F2
+	FMAXD F2, F2, F2
+	FMOVD F2, ret+24(FP)
+	RET
+
+// func goodVector(p *float64) — NEON multiply and add as separate
+// instructions; no VZEROUPPER needed before RET on arm64.
+TEXT ·goodVector(SB), 4, $0-8
+	VFMUL V1.D2, V2.D2, V3.D2
+	VFADD V3.D2, V0.D2, V0.D2
+	RET

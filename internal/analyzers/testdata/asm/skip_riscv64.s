@@ -1,0 +1,7 @@
+// Fixture: riscv64 has no rule table, so asmvet must skip this file
+// entirely even though it contains a fused multiply-add that the
+// checked architectures would flag.
+
+TEXT ·notChecked(SB), 4, $0-32
+	FMADDD F0, F1, F2, F3
+	RET

@@ -1,0 +1,87 @@
+// Package atomicvet is a fixture for the atomicvet analyzer: mixed
+// atomic/plain field access, misuse of atomic-typed fields, and
+// //javelin:plain-under-mu claims that do and do not hold
+// flow-sensitively; `// want` comments mark the lines where findings
+// must land.
+package atomicvet
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter carries one field per discipline: hits is plain-under-mutex
+// by directive, ops goes through the sync/atomic function API, and
+// gauge is an atomic-typed field.
+type Counter struct {
+	mu    sync.Mutex
+	hits  uint64 //javelin:plain-under-mu mu
+	ops   uint64
+	gauge atomic.Int64
+}
+
+// bump establishes ops as an atomic-API field.
+func (c *Counter) bump() { atomic.AddUint64(&c.ops, 1) }
+
+// --- violations ---
+
+// racyRead reads an atomic-API field plainly.
+func (c *Counter) racyRead() uint64 {
+	return c.ops // want `field ops is accessed via sync/atomic \(at .*atomicvet\.go:\d+\); this plain access is a data race`
+}
+
+// copyGauge copies an atomic value out of its cell, defeating the
+// atomicity of every subsequent use.
+func (c *Counter) copyGauge() atomic.Int64 {
+	return c.gauge // want `atomic-typed field gauge used without its atomic API`
+}
+
+// unguarded touches the plain-under-mu field without the mutex.
+func (c *Counter) unguarded() uint64 {
+	return c.hits // want `plain access to c\.hits requires holding c\.mu on every path`
+}
+
+// afterUnlock holds the mutex for the first read but not the second.
+func (c *Counter) afterUnlock() uint64 {
+	c.mu.Lock()
+	h := c.hits
+	c.mu.Unlock()
+	return h + c.hits // want `plain access to c\.hits requires holding c\.mu on every path`
+}
+
+// --- compliant forms ---
+
+// guarded covers the access with a defer'd unlock.
+func (c *Counter) guarded() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// guardedExplicit brackets the access explicitly.
+func (c *Counter) guardedExplicit() {
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+}
+
+// bumpHitsLocked relies on the *Locked naming contract: the caller
+// holds c.mu.
+func (c *Counter) bumpHitsLocked() { c.hits++ }
+
+// atomicOps uses the sync/atomic API consistently.
+func (c *Counter) atomicOps() uint64 { return atomic.LoadUint64(&c.ops) }
+
+// gaugeAPI drives the atomic-typed field through its methods.
+func (c *Counter) gaugeAPI() int64 {
+	c.gauge.Store(5)
+	return c.gauge.Load()
+}
+
+// gaugeAddr takes the field's address (passing *atomic.Int64 around
+// keeps the single cell).
+func (c *Counter) gaugeAddr() *atomic.Int64 { return &c.gauge }
+
+// fresh constructs through a composite literal: the object is not
+// shared yet, so keyed initialization of a guarded field is exempt.
+func fresh() Counter { return Counter{hits: 1} }

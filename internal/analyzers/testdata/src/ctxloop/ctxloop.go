@@ -1,0 +1,131 @@
+// Package ctxloop is a fixture for the ctxloop analyzer. Stub Options,
+// Matrix, and Preconditioner types mirror internal/krylov's surface
+// (the analyzer matches receivers by type name), and each loop
+// exercises one violating or compliant check-before-kernel pattern;
+// `// want` comments mark the lines where findings must land.
+package ctxloop
+
+import "context"
+
+// Matrix stands in for sparse.CSR.
+type Matrix struct{ N int }
+
+// Options mirrors internal/krylov.Options' hook surface.
+type Options struct {
+	Ctx context.Context
+}
+
+// step mirrors the per-iteration hook (context first, then monitor).
+func (o Options) step(it int, relres float64) error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
+}
+
+// ctxErr mirrors the cancellation-only check.
+func (o Options) ctxErr() error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
+}
+
+// matVec is the kernel call whose cost scales with the matrix.
+func (o Options) matVec(a *Matrix, x, y []float64) {}
+
+// Preconditioner mirrors internal/krylov.Preconditioner.
+type Preconditioner interface {
+	Apply(r, z []float64)
+}
+
+func axpy(alpha float64, x, y []float64) {}
+
+// --- violations ---
+
+// kernelFirst runs the matvec before any check: a canceled solve burns
+// a full kernel call per iteration before noticing.
+func kernelFirst(a *Matrix, o Options, x, y []float64) {
+	for i := 0; i < 10; i++ {
+		o.matVec(a, x, y) // want `kernel call Options\.matVec can run before the iteration's Ctx check in the loop at line \d+`
+		if err := o.step(i, 0); err != nil {
+			return
+		}
+	}
+}
+
+// checkedOnSomePaths checks only on even iterations: the merge of a
+// checked and an unchecked path is unchecked, so the Apply can still
+// run before any check.
+func checkedOnSomePaths(m Preconditioner, o Options, r, z []float64) {
+	for i := 0; i < 10; i++ {
+		if i%2 == 0 {
+			if err := o.ctxErr(); err != nil {
+				return
+			}
+		}
+		m.Apply(r, z) // want `kernel call Preconditioner\.Apply can run before the iteration's Ctx check in the loop at line \d+`
+	}
+}
+
+// --- compliant forms ---
+
+// stepFirst checks via the full per-iteration hook before the kernel.
+func stepFirst(a *Matrix, o Options, x, y []float64) {
+	for i := 0; i < 10; i++ {
+		if err := o.step(i, 0); err != nil {
+			return
+		}
+		o.matVec(a, x, y)
+	}
+}
+
+// ctxErrFirst checks cancellation alone before the kernel (the restart
+// -boundary pattern, where a full step would consume a monitor tick).
+func ctxErrFirst(m Preconditioner, o Options, r, z []float64) {
+	for {
+		if err := o.ctxErr(); err != nil {
+			return
+		}
+		m.Apply(r, z)
+	}
+}
+
+// directErr checks the context value itself.
+func directErr(ctx context.Context, a *Matrix, o Options, x, y []float64) {
+	for i := 0; i < 10; i++ {
+		if ctx.Err() != nil {
+			return
+		}
+		o.matVec(a, x, y)
+	}
+}
+
+// vectorOnly performs no kernel calls: vector primitives are allowed
+// to run between checks (their cost is a vector, not a matrix), so the
+// loop passes vacuously.
+func vectorOnly(o Options, x, y []float64) {
+	for i := 0; i < 10; i++ {
+		axpy(2, x, y)
+	}
+}
+
+// nestedChecked re-checks in the inner loop before its kernel call, as
+// the contract requires of every loop that calls kernels — and the
+// vector-only Gram–Schmidt-style inner loop needs no check of its own.
+func nestedChecked(a *Matrix, o Options, x, y []float64, rows [][]float64) {
+	for i := 0; i < 10; i++ {
+		if err := o.step(i, 0); err != nil {
+			return
+		}
+		for _, row := range rows {
+			if err := o.ctxErr(); err != nil {
+				return
+			}
+			o.matVec(a, row, y)
+		}
+		for _, row := range rows {
+			axpy(-1, row, x)
+		}
+	}
+}

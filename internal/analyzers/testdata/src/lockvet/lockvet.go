@@ -1,0 +1,138 @@
+// Package lockvet is a fixture for the lockvet analyzer: Lock/Unlock
+// pairing violations on return paths, self-deadlocks, *Locked-contract
+// breaches, a two-class acquisition-order cycle, and compliant forms
+// that must stay silent; `// want` comments mark the lines where
+// findings must land.
+package lockvet
+
+import (
+	"errors"
+	"sync"
+)
+
+var errFixture = errors.New("fixture")
+
+// Registry and Journal give the order graph two mutex classes.
+type Registry struct {
+	mu    sync.Mutex
+	state int
+}
+
+type Journal struct {
+	mu      sync.Mutex
+	entries int
+}
+
+// Index exercises the read-lock side of a sync.RWMutex.
+type Index struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// --- violations ---
+
+// leakOnError returns with the mutex held on the error path.
+func leakOnError(r *Registry, fail bool) error {
+	r.mu.Lock()
+	if fail {
+		return errFixture // want `r\.mu locked at .*lockvet\.go:\d+ is not unlocked on this return path`
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// leakAtEnd never unlocks at all: flagged at the implicit return.
+func leakAtEnd(r *Registry) {
+	r.mu.Lock()
+	r.state++
+} // want `r\.mu locked at .*lockvet\.go:\d+ is not unlocked on this return path`
+
+// relock takes a mutex already held on the same path.
+func relock(r *Registry) {
+	r.mu.Lock()
+	r.mu.Lock() // want `r\.mu is already locked on this path \(at .*lockvet\.go:\d+\): a second Lock self-deadlocks`
+	r.mu.Unlock()
+}
+
+// unlockUnheld releases a mutex this path never acquired.
+func unlockUnheld(r *Registry) {
+	r.mu.Unlock() // want `r\.mu is unlocked but not locked on this path`
+}
+
+// drainLocked is called with r.mu held by the naming contract;
+// releasing it betrays the caller, which still thinks it owns the lock.
+func (r *Registry) drainLocked() {
+	r.state = 0
+	r.mu.Unlock() // want `r\.mu unlocked inside drainLocked, which is called with it held by the \*Locked naming contract`
+}
+
+// leakRead returns with the read side still held.
+func leakRead(ix *Index) int {
+	ix.mu.RLock()
+	return ix.n // want `ix\.mu \(read lock\) locked at .*lockvet\.go:\d+ is not unlocked on this return path`
+}
+
+// lockRegistryThenJournal acquires Journal.mu under Registry.mu —
+// fine on its own, but lockJournalThenRegistry below takes the same
+// pair in the opposite order, closing an acquisition-order cycle. The
+// cycle is reported once, at the edge that closes it during the
+// deterministic graph walk.
+func lockRegistryThenJournal(r *Registry, j *Journal) {
+	r.mu.Lock()
+	j.mu.Lock() // want `lock acquisition order cycle: Journal\.mu -> Registry\.mu -> Journal\.mu — a concurrent schedule taking these in opposite order deadlocks`
+	j.entries++
+	j.mu.Unlock()
+	r.mu.Unlock()
+}
+
+func lockJournalThenRegistry(r *Registry, j *Journal) {
+	j.mu.Lock()
+	r.mu.Lock()
+	r.state++
+	r.mu.Unlock()
+	j.mu.Unlock()
+}
+
+// --- compliant forms ---
+
+// deferUnlock covers every return path with one defer.
+func deferUnlock(r *Registry, fail bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// explicitBoth unlocks explicitly before each return.
+func explicitBoth(r *Registry, fail bool) error {
+	r.mu.Lock()
+	if fail {
+		r.mu.Unlock()
+		return errFixture
+	}
+	r.mu.Unlock()
+	return nil
+}
+
+// bumpLocked is called with r.mu held by contract: touching state and
+// returning without unlocking is correct here.
+func (r *Registry) bumpLocked() { r.state++ }
+
+// readSide pairs RLock with a deferred RUnlock.
+func readSide(ix *Index) int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return ix.n
+}
+
+// rebalance takes both classes in the established order: an edge the
+// graph already has, not a new cycle.
+func rebalance(r *Registry, j *Journal) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries = r.state
+}

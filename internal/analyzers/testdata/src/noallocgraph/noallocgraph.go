@@ -1,0 +1,92 @@
+// Package noallocgraph is a fixture for the noallocgraph module
+// analyzer: //javelin:noalloc roots whose static call graphs reach
+// allocating helpers — directly and through a clean intermediate —
+// plus every accepted edge form (noalloc callee, doc-level waiver,
+// call-site waiver, transitively clean callee); `// want` comments
+// mark the lines where findings must land.
+package noallocgraph
+
+// leakyHelper allocates: the returned slice escapes.
+func leakyHelper(n int) []float64 {
+	return make([]float64, n)
+}
+
+// spill allocates: the local is moved to the heap. Kept out of line
+// so the escape diagnostic stays attributed here — inlined, the heap
+// move would be reported in relay's body and the chain would stop one
+// hop short (which is also correct, just a different witness).
+//
+//go:noinline
+func spill() *float64 {
+	v := 4.0
+	return &v
+}
+
+// cleanHelper is allocation-free.
+func cleanHelper(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// deepClean is clean and calls only clean code.
+func deepClean(x []float64) float64 { return cleanHelper(x) }
+
+// relay is clean itself but reaches the allocating spill, so a noalloc
+// root walking through it is flagged here, at the offending call site.
+func relay() *float64 {
+	return spill() // want `//javelin:noalloc badDeep reaches spill \(badDeep -> relay -> spill\), which allocates`
+}
+
+// --- violations ---
+
+// badRoot reaches an allocating helper with no annotation or waiver.
+//
+//javelin:noalloc
+func badRoot(n int) float64 {
+	tmp := leakyHelper(n) // want `//javelin:noalloc badRoot reaches leakyHelper \(badRoot -> leakyHelper\), which allocates`
+	return cleanHelper(tmp)
+}
+
+// badDeep reaches an allocator two calls down, through clean relay;
+// the finding lands on relay's call into spill (see above).
+//
+//javelin:noalloc
+func badDeep() float64 {
+	return *relay()
+}
+
+// --- accepted edge forms ---
+
+// sum is a noalloc root of its own: edges into it stop (hotalloc and
+// this pass check its body in full).
+//
+//javelin:noalloc
+func sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// coldSetup allocates deliberately; the doc-level waiver accepts the
+// whole callee as a cold path.
+//
+//javelin:alloc-ok fixture cold path: allocates by design
+func coldSetup(n int) []float64 {
+	return make([]float64, n)
+}
+
+// goodRoot's every edge is accepted: a noalloc callee, a doc-waived
+// callee, a transitively clean callee, and a call-site-waived handoff.
+//
+//javelin:noalloc
+func goodRoot(n int, x []float64) float64 {
+	buf := coldSetup(n)
+	//javelin:alloc-ok fixture call-site waiver: deliberate handoff
+	extra := leakyHelper(n)
+	return sum(buf) + deepClean(x) + cleanHelper(extra)
+}

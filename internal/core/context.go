@@ -183,6 +183,8 @@ func (c *SolveContext) Apply(r, z []float64) {
 }
 
 // ensureBlk grows the packed batch scratch to at least size entries.
+//
+//javelin:alloc-ok amortized growth: allocates only until blk reaches the largest batch seen
 func (c *SolveContext) ensureBlk(size int) []float64 {
 	if cap(c.blk) < size {
 		c.blk = make([]float64, size)

@@ -213,8 +213,8 @@ type Engine struct {
 	// and solves proceed concurrently.
 	refacMu sync.Mutex
 	// retired holds swapped-out epochs until their readers drain and
-	// their buffers recycle; guarded by refacMu.
-	retired []*epoch
+	// their buffers recycle.
+	retired []*epoch //javelin:plain-under-mu refacMu
 
 	// ctxPool recycles SolveContexts between Acquire/ReleaseContext
 	// pairs so per-call solve entry points (the public Solver) stay

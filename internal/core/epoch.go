@@ -51,13 +51,13 @@ func (e *Engine) unpinEpoch(ep *epoch) {
 	}
 }
 
-// grabValues returns a value buffer that no reader can observe, for
+// grabValuesLocked returns a value buffer that no reader can observe, for
 // Refactorize to build the next epoch in. Preference order: a drained
 // retired buffer (the steady-state recycle), the factor skeleton's
 // own array before the first publication, then a fresh allocation
 // when every retired buffer is still pinned by an in-flight solve —
 // Refactorize never waits for readers. Caller holds refacMu.
-func (e *Engine) grabValues() []float64 {
+func (e *Engine) grabValuesLocked() []float64 {
 	for i, ep := range e.retired {
 		if ep.refs.Load() == 0 {
 			last := len(e.retired) - 1
@@ -73,11 +73,11 @@ func (e *Engine) grabValues() []float64 {
 	return make([]float64, len(e.factor.LU.Val))
 }
 
-// publishValues makes vals the current epoch. The previous epoch is
+// publishValuesLocked makes vals the current epoch. The previous epoch is
 // retired (its buffer recycles once its readers drain). The factor
 // skeleton's Val is repointed so Engine.Factor() exposes the newest
 // generation to sequential inspection. Caller holds refacMu.
-func (e *Engine) publishValues(vals []float64) {
+func (e *Engine) publishValuesLocked(vals []float64) {
 	ep := &epoch{vals: vals}
 	if old := e.cur.Swap(ep); old != nil {
 		e.retired = append(e.retired, old)
@@ -85,10 +85,10 @@ func (e *Engine) publishValues(vals []float64) {
 	e.factor.LU.Val = vals
 }
 
-// recycleValues returns an unpublished build buffer to the retired
+// recycleValuesLocked returns an unpublished build buffer to the retired
 // pool after a failed refactorization, so the next attempt reuses it.
 // The previously published epoch stays current and untouched. Caller
 // holds refacMu.
-func (e *Engine) recycleValues(vals []float64) {
+func (e *Engine) recycleValuesLocked(vals []float64) {
 	e.retired = append(e.retired, &epoch{vals: vals})
 }

@@ -40,9 +40,9 @@ func (e *Engine) Refactorize(a *sparse.CSR) error {
 	}
 	e.refacMu.Lock()
 	defer e.refacMu.Unlock()
-	vals := e.grabValues()
+	vals := e.grabValuesLocked()
 	if err := e.scatter(a, vals); err != nil {
-		e.recycleValues(vals)
+		e.recycleValuesLocked(vals)
 		return err
 	}
 	if e.lower != nil {
@@ -64,10 +64,10 @@ func (e *Engine) Refactorize(a *sparse.CSR) error {
 		}
 	}
 	if err != nil {
-		e.recycleValues(vals)
+		e.recycleValuesLocked(vals)
 		return err
 	}
-	e.publishValues(vals)
+	e.publishValuesLocked(vals)
 	return nil
 }
 

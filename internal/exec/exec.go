@@ -55,11 +55,11 @@ type Runtime struct {
 	mu        sync.Mutex
 	cond      *sync.Cond // workers park here
 	gangCond  *sync.Cond // Gang admission waits here
-	jobs      []*job     // open claim-based regions
-	gangQ     gangQueue  // assigned-but-unstarted gang pieces
-	committed int        // workers reserved by admitted gangs
-	sleeping  int        // parked workers
-	closed    bool
+	jobs      []*job     //javelin:plain-under-mu mu
+	gangQ     gangQueue  //javelin:plain-under-mu mu
+	committed int        //javelin:plain-under-mu mu
+	sleeping  int        //javelin:plain-under-mu mu
+	closed    bool       //javelin:plain-under-mu mu
 
 	// Park-path counters, guarded by mu and incremented only where it
 	// is already held. The spin-to-park transition is timing-bistable
@@ -67,10 +67,10 @@ type Runtime struct {
 	// next region depends on tens of nanoseconds — and even a single
 	// uncontended atomic RMW there measurably tips it; plain
 	// increments under the already-taken lock are free.
-	pkSpinToParks uint64
-	pkStealFails  uint64
-	pkParks       uint64
-	pkWakes       uint64
+	pkSpinToParks uint64 //javelin:plain-under-mu mu
+	pkStealFails  uint64 //javelin:plain-under-mu mu
+	pkParks       uint64 //javelin:plain-under-mu mu
+	pkWakes       uint64 //javelin:plain-under-mu mu
 
 	deques []deque      // batch task deques (one per worker, min one)
 	nextQ  atomic.Int64 // round-robin cursor for batch submits
@@ -772,8 +772,8 @@ func (r *Runtime) workerLoop(w int) {
 // stage uses (tiles of hundreds of nonzeros), and trivially correct.
 type deque struct {
 	mu    sync.Mutex
-	tasks []task
-	head  int
+	tasks []task //javelin:plain-under-mu mu
+	head  int    //javelin:plain-under-mu mu
 }
 
 func (d *deque) push(t task) {
@@ -791,7 +791,7 @@ func (d *deque) pop() (task, bool) {
 	t := d.tasks[len(d.tasks)-1]
 	d.tasks[len(d.tasks)-1] = task{}
 	d.tasks = d.tasks[:len(d.tasks)-1]
-	d.compact()
+	d.compactLocked()
 	return t, true
 }
 
@@ -804,7 +804,7 @@ func (d *deque) steal() (task, bool) {
 	t := d.tasks[d.head]
 	d.tasks[d.head] = task{}
 	d.head++
-	d.compact()
+	d.compactLocked()
 	return t, true
 }
 
@@ -814,7 +814,7 @@ func (d *deque) empty() bool {
 	return d.head >= len(d.tasks)
 }
 
-func (d *deque) compact() {
+func (d *deque) compactLocked() {
 	if d.head >= len(d.tasks) {
 		d.tasks = d.tasks[:0]
 		d.head = 0

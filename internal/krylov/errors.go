@@ -67,6 +67,16 @@ func (o Options) step(it int, relres float64) error {
 	return nil
 }
 
+// ctxErr checks cancellation alone — the restart/outer loops use it
+// where a full step would wrongly consume a Monitor tick for an
+// iteration that has not happened yet.
+func (o Options) ctxErr() error {
+	if o.Ctx != nil {
+		return o.Ctx.Err()
+	}
+	return nil
+}
+
 func breakdown(format string, a ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrBreakdown}, a...)...)
 }

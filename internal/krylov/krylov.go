@@ -77,6 +77,8 @@ func (o Options) matVec(a *sparse.CSR, x, y []float64) {
 }
 
 // workspace returns the caller's workspace or a private throwaway.
+//
+//javelin:alloc-ok cold path: allocates only when the caller supplied no Workspace
 func (o Options) workspace() *Workspace {
 	if o.Work != nil {
 		return o.Work
@@ -193,6 +195,12 @@ func GMRES(a *sparse.CSR, m Preconditioner, b, x []float64, opt Options) (Stats,
 	}
 
 	for st.Iterations < opt.MaxIter {
+		// Cancellation must land within one iteration even across a
+		// restart boundary, and the residual rebuild below is two
+		// kernel calls deep.
+		if err := opt.ctxErr(); err != nil {
+			return st, err
+		}
 		// r0 = M⁻¹(b − A·x)
 		opt.matVec(a, x, t)
 		for i := range w {

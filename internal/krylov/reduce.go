@@ -50,6 +50,8 @@ type reducer struct {
 
 // reducer configures the workspace's reducer for this solve's
 // threading options and returns it.
+//
+//javelin:alloc-ok one-time: the block closures are installed once per Workspace and reused
 func (o Options) reducer(ws *Workspace) *reducer {
 	rd := &ws.red
 	rd.threads = o.Threads
@@ -81,6 +83,7 @@ func (o Options) reducer(ws *Workspace) *reducer {
 	return rd
 }
 
+//javelin:alloc-ok amortized growth: allocates only until parts reaches the largest block count seen
 func (rd *reducer) partials(nb int) {
 	if cap(rd.parts) < nb {
 		rd.parts = make([]float64, nb)

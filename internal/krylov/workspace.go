@@ -31,6 +31,8 @@ func NewWorkspace() *Workspace { return &Workspace{} }
 
 // vectors returns count independent scratch vectors of length n,
 // allocating only what has not been provisioned before.
+//
+//javelin:alloc-ok amortized growth: allocates only until the workspace reaches size
 func (ws *Workspace) vectors(n, count int) [][]float64 {
 	for len(ws.vecs) < count {
 		ws.vecs = append(ws.vecs, nil)
@@ -51,6 +53,8 @@ func (ws *Workspace) vectors(n, count int) [][]float64 {
 // gmres returns the restarted-GMRES storage for size n and restart m:
 // basis v (m+1 × n), Hessenberg h (m+1 × m), Givens cs/sn (m), rhs g
 // (m+1), and the small-system solution y (m).
+//
+//javelin:alloc-ok amortized growth: (re)allocates only when n or restart grows past the largest seen
 func (ws *Workspace) gmres(n, m int) (v, h [][]float64, cs, sn, g, y []float64) {
 	if len(ws.gv) < m+1 || (len(ws.gv) > 0 && cap(ws.gv[0]) < n) ||
 		(len(ws.gh) > 0 && cap(ws.gh[0]) < m) {

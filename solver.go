@@ -326,6 +326,8 @@ func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWo
 
 // finish converts the krylov outcome to the Solver error contract:
 // nil on convergence, a stats-carrying *SolveError otherwise.
+//
+//javelin:alloc-ok error path: a failed solve allocates its *SolveError; the success path is clean
 func (s *Solver) finish(st SolverStats, err error) (SolverStats, error) {
 	if err == nil {
 		if st.Converged {
