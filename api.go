@@ -70,6 +70,11 @@ func (m *Matrix) RowDensity() float64 { return m.csr.RowDensity() }
 // PatternSymmetric reports whether the sparsity pattern is symmetric.
 func (m *Matrix) PatternSymmetric() bool { return m.csr.PatternSymmetric() }
 
+// NumericallySymmetric reports whether the matrix equals its
+// transpose to within tol (absolute) on every stored entry — the
+// symmetry MethodAuto requires before selecting CG.
+func (m *Matrix) NumericallySymmetric(tol float64) bool { return m.csr.NumericallySymmetric(tol) }
+
 // At returns the entry at (i, j) (0 when not stored). For tests and
 // inspection, not inner loops.
 func (m *Matrix) At(i, j int) float64 { return m.csr.At(i, j) }
@@ -327,6 +332,16 @@ var ErrPatternMismatch = core.ErrPatternMismatch
 // wrapping ErrPatternMismatch (unless Options.AllowPatternMismatch).
 // On any error the previous factor values remain published and solve
 // traffic continues on them.
+//
+// Callers refactorizing by hand after every value change should
+// consider the versioned path instead: publish updates through
+// VersionedMatrix.UpdateValues and let a NewVersionedSolver with
+// WithAutoRefactorize decide when the factor has drifted enough to be
+// worth rebuilding — each solve then pins one consistent (A-epoch,
+// factor-epoch) pair, and mild drift costs no refactorization at all
+// (see doc.go, "Live updates & drift policy"). Direct Refactorize
+// remains the right tool when the caller knows the factor must be
+// refreshed (e.g. a large discrete parameter change).
 func (p *Preconditioner) Refactorize(m *Matrix) error { return p.e.Refactorize(m.csr) }
 
 // Method reports the lower-stage method Javelin selected.

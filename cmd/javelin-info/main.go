@@ -15,6 +15,12 @@
 // and — for an asm-backed variant — exactly which table slots run
 // assembly bodies rather than Go ones.
 //
+// The capability report also includes an epoch-discipline line: one
+// UpdateValues → Refactorize round trip of the versioned-matrix
+// machinery on a tiny system, printing the matrix/factor epoch
+// numbers and the update/refactorize counters it produced, so the
+// live-update surface is observable from the CLI.
+//
 // -stats appends the process-wide execution runtime's activity
 // counter deltas (regions, chunk claims, steals, gang admissions +
 // queue wait, park/wake churn) for the printed tables — the
@@ -29,6 +35,7 @@ import (
 	"os"
 	"strings"
 
+	"javelin"
 	"javelin/internal/bench"
 	"javelin/internal/cpuid"
 	"javelin/internal/exec"
@@ -62,10 +69,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		kernels.Variant(), strings.Join(kernels.Variants(), ", "))
 	fmt.Fprintf(stdout, "cpu features: %s\n", cpuid.Detected())
 	if slots := kernels.Active().AsmSlots; len(slots) > 0 {
-		fmt.Fprintf(stdout, "asm-backed slots: %s\n\n", strings.Join(slots, " "))
+		fmt.Fprintf(stdout, "asm-backed slots: %s\n", strings.Join(slots, " "))
 	} else {
-		fmt.Fprintf(stdout, "asm-backed slots: none (pure Go table)\n\n")
+		fmt.Fprintf(stdout, "asm-backed slots: none (pure Go table)\n")
 	}
+	if err := printEpochReport(stdout); err != nil {
+		fmt.Fprintf(stderr, "javelin-info: epoch report: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(stdout)
 
 	cfg := bench.Config{Scale: *scale, Out: stdout}
 	if *matrices != "" {
@@ -95,4 +107,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 			exec.Default().Stats().Sub(before))
 	}
 	return 0
+}
+
+// printEpochReport exercises one update → refactorize cycle of the
+// versioned-matrix epoch machinery on a tiny grid system and prints
+// the epoch numbers and counters: matrix epoch/updates from the
+// VersionedMatrix, factor epoch and refactorize/failure counters from
+// the engine. A healthy build reports the pair advancing in lockstep
+// to (2, 2) with zero failures.
+func printEpochReport(w io.Writer) error {
+	m := javelin.GridLaplacian(8, 8, 1, javelin.Star5, 0.2)
+	vm, err := javelin.NewVersionedMatrix(m)
+	if err != nil {
+		return err
+	}
+	opt := javelin.DefaultOptions()
+	opt.Threads = 1
+	p, err := javelin.Factorize(m, opt)
+	if err != nil {
+		return err
+	}
+	defer p.Close()
+	if err := vm.UpdateMatrix(m); err != nil {
+		return err
+	}
+	if err := p.Refactorize(vm.Matrix()); err != nil {
+		return err
+	}
+	e := p.Engine()
+	fmt.Fprintf(w, "epoch discipline: matrix epoch %d (%d updates), factor epoch %d (%d refactorizes, %d failed)\n",
+		vm.Epoch(), vm.Updates(), e.FactorEpoch(), e.Refactorizes(), e.RefactorizeFailures())
+	return nil
 }

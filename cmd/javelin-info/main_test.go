@@ -51,6 +51,21 @@ func TestRunCapabilityReport(t *testing.T) {
 	}
 }
 
+func TestRunEpochReport(t *testing.T) {
+	// The epoch-discipline line runs a real update → refactorize round
+	// trip, so both epoch counters must have advanced to 2 in lockstep
+	// with zero failures, on every build.
+	var out, errb bytes.Buffer
+	rc := run([]string{"-table", "1", "-scale", "0.02", "-matrices", "wang3"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	want := "epoch discipline: matrix epoch 2 (1 updates), factor epoch 2 (1 refactorizes, 0 failed)"
+	if !strings.Contains(out.String(), want) {
+		t.Fatalf("epoch report missing %q:\n%s", want, out.String())
+	}
+}
+
 func TestRunRejectsUnknownTable(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-table", "2"}, &out, &errb); rc != 2 {

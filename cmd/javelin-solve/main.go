@@ -8,6 +8,14 @@
 //	javelin-solve -matrix apache2 -scale 0.05 -solver cg -threads 8
 //	javelin-solve -file system.mtx -solver gmres -tol 1e-8
 //	javelin-solve -matrix trans4 -solver auto -timeout 30s
+//	javelin-solve -matrix wang3 -scale 0.02 -drift
+//
+// -drift demos the live-update path: the matrix is wrapped in a
+// VersionedMatrix, solved, drifted (a diagonal-scaled value update is
+// published mid-session), solved again against the now-stale factor,
+// and the monitor-driven auto-refactorization is left to restore a
+// fresh (A-epoch, factor-epoch) pair — each stage printing the epoch
+// pair its solve actually ran against.
 package main
 
 import (
@@ -43,6 +51,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		threads = fs.Int("threads", 0, "worker threads (0 = GOMAXPROCS)")
 		lower   = fs.String("lower", "auto", "lower-stage method: auto|er|sr|none")
 		timeout = fs.Duration("timeout", 0, "abort the solve after this duration (0 = none)")
+		drift   = fs.Bool("drift", false, "demo live value updates with monitor-driven auto-refactorization")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -125,6 +134,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *maxIter != 0 {
 		solverOpts = append(solverOpts, javelin.WithMaxIter(*maxIter))
 	}
+	if *drift {
+		return runDrift(stdout, fail, m, p, solverOpts)
+	}
+
 	s, err := javelin.NewSolver(m, p, solverOpts...)
 	if err != nil {
 		return fail("solver: %v", err)
@@ -172,5 +185,95 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "%s: converged=%v iters=%d relres=%.3g err=%.3g time=%v\n",
 		s.Method(), st.Converged, st.Iterations, st.RelResidual,
 		errNorm, time.Since(t0))
+	return 0
+}
+
+// runDrift demos the live-update path: solve on the fresh pair,
+// publish a drifted value generation, solve against the stale factor,
+// wait for the drift policy's background refactorization, and solve
+// once more on the restored pair.
+func runDrift(stdout io.Writer, fail func(string, ...any) int,
+	m *javelin.Matrix, p *javelin.Preconditioner, solverOpts []javelin.SolverOption) int {
+	vm, err := javelin.NewVersionedMatrix(m)
+	if err != nil {
+		return fail("versioned matrix: %v", err)
+	}
+	events := make(chan javelin.RefactorizeEvent, 4)
+	solverOpts = append(solverOpts, javelin.WithAutoRefactorize(javelin.DriftPolicy{
+		IterGrowth: 1.1,
+		MinSolves:  1,
+		OnRefactorize: func(ev javelin.RefactorizeEvent) {
+			events <- ev
+		},
+	}))
+	s, err := javelin.NewVersionedSolver(vm, p, solverOpts...)
+	if err != nil {
+		return fail("versioned solver: %v", err)
+	}
+	defer s.Close()
+
+	n := m.N()
+	b := make([]float64, n)
+	rng := util.NewRNG(2024)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	solve := func(stage string) (javelin.SolverStats, int) {
+		for i := range x {
+			x[i] = 0
+		}
+		t0 := time.Now()
+		st, err := s.Solve(context.Background(), b, x)
+		if err != nil {
+			return st, fail("%s solve: %v", stage, err)
+		}
+		fmt.Fprintf(stdout, "%s solve: pair=(A-epoch %d, factor-epoch %d) iters=%d relres=%.3g time=%v\n",
+			stage, st.MatrixEpoch, st.FactorEpoch, st.Iterations, st.RelResidual, time.Since(t0))
+		return st, 0
+	}
+
+	if _, rc := solve("fresh"); rc != 0 {
+		return rc
+	}
+
+	// Drift: republish with the diagonal scaled up, as a timestep or
+	// parameter change would. The pattern is untouched, so this is one
+	// atomic value-generation swap — no new factorization yet.
+	raw := m.Raw()
+	vals := append([]float64(nil), raw.Val...)
+	for i := 0; i < raw.N; i++ {
+		for k := raw.RowPtr[i]; k < raw.RowPtr[i+1]; k++ {
+			if raw.ColIdx[k] == i {
+				vals[k] *= 2
+			}
+		}
+	}
+	if err := vm.UpdateValues(vals); err != nil {
+		return fail("update: %v", err)
+	}
+	fmt.Fprintf(stdout, "published drifted values: matrix epoch %d\n", vm.Epoch())
+
+	if _, rc := solve("stale"); rc != 0 {
+		return rc
+	}
+
+	select {
+	case ev := <-events:
+		if ev.Err != nil {
+			return fail("auto-refactorize: %v", ev.Err)
+		}
+		fmt.Fprintf(stdout, "auto-refactorized: matrix epoch %d -> factor epoch %d\n",
+			ev.MatrixEpoch, ev.FactorEpoch)
+	case <-time.After(time.Minute):
+		return fail("no auto-refactorization within 1m of the stale solve")
+	}
+
+	if _, rc := solve("restored"); rc != 0 {
+		return rc
+	}
+	ds := s.DriftStats()
+	fmt.Fprintf(stdout, "drift stats: triggers=%d published=%d failures=%d skipped=%d\n",
+		ds.Triggers, ds.Published, ds.Failures, ds.Skipped)
 	return 0
 }

@@ -67,6 +67,28 @@ func TestRunSolveAutoSelectsMethod(t *testing.T) {
 	}
 }
 
+func TestRunSolveDriftDemo(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-matrix", "wang3", "-scale", "0.02", "-threads", "2",
+		"-drift"}, &out, &errb)
+	if rc != 0 {
+		t.Fatalf("rc=%d stderr=%s", rc, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"fresh solve: pair=(A-epoch 1, factor-epoch 1)",
+		"published drifted values: matrix epoch 2",
+		"stale solve: pair=(A-epoch 2, factor-epoch 1)",
+		"auto-refactorized: matrix epoch 2 -> factor epoch 2",
+		"restored solve: pair=(A-epoch 2, factor-epoch 2)",
+		"drift stats:",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("-drift output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunSolveReportsNonConvergence(t *testing.T) {
 	var out, errb bytes.Buffer
 	rc := run([]string{"-matrix", "wang3", "-scale", "0.02", "-solver", "cg",

@@ -41,7 +41,7 @@
 // SolverStats at the stopping point:
 //
 //	s, err := javelin.NewSolver(m, p,
-//		javelin.WithMethod(javelin.MethodAuto), // CG if pattern-symmetric, else GMRES
+//		javelin.WithMethod(javelin.MethodAuto), // CG if symmetric (pattern AND values), else GMRES
 //		javelin.WithTol(1e-8),
 //		javelin.WithMonitor(func(it javelin.IterInfo) bool {
 //			return it.Residual < 1e6 // give up on blow-up
@@ -112,6 +112,52 @@
 // pattern with ErrPatternMismatch instead of silently computing the
 // factor of a different matrix; τ-dropped refactorization workflows
 // set Options.AllowPatternMismatch to opt back into dropping.
+//
+// # Live updates & drift policy
+//
+// The matrix side of a solve carries the same epoch discipline as the
+// factor side. A VersionedMatrix wraps a fixed sparsity pattern with
+// epoch-versioned values: UpdateValues (or UpdateMatrix) publishes a
+// complete new value generation with one atomic swap — publishers
+// never block and never wait for readers — and a retired generation's
+// buffer is recycled for a later update once its last pinned reader
+// finishes, so a steady stream of updates ping-pongs between two
+// buffers and allocates nothing.
+//
+// A Solver built with NewVersionedSolver pins one consistent
+// (A-epoch, factor-epoch) pair for the whole solve. The invariant,
+// precisely: every matvec and every preconditioner application of one
+// Solve call reads the matrix values of exactly one published matrix
+// epoch and the factor values of exactly one published factor epoch —
+// the pair current when the solve began — no matter how many
+// UpdateValues or Refactorize publications land mid-solve. SolverStats
+// reports the pair (MatrixEpoch, FactorEpoch), and two solves of the
+// same right-hand side reporting the same pair compute
+// bitwise-identical trajectories.
+//
+// WithAutoRefactorize closes the loop: a DriftPolicy watches each
+// solve through the Monitor hook (mid-solve residual growth) and its
+// final stats (iteration count versus the fresh-pair baseline,
+// non-convergence), and when a solve on a stale pair — matrix epoch
+// newer than the generation the factor was built from — shows drift,
+// one background goroutine refactorizes from the newest published
+// generation (single-flight: concurrent detections coalesce into the
+// attempt already running). A failed attempt leaves the previous pair
+// serving and only moves the DriftStats failure counter; Solver.Close
+// stops the policy and waits out any in-flight attempt.
+//
+//	vm, _ := javelin.NewVersionedMatrix(m)
+//	s, _ := javelin.NewVersionedSolver(vm, p,
+//		javelin.WithAutoRefactorize(javelin.DriftPolicy{IterGrowth: 1.5}))
+//	defer s.Close()
+//	...
+//	vm.UpdateValues(vals)       // timestep: publish new values, pattern fixed
+//	st, _ := s.Solve(ctx, b, x) // pins one (A, factor) pair throughout
+//
+// Prefer this loop over calling Refactorize by hand after every
+// update: the policy spends the refactorization only when the stale
+// factor measurably hurts the iteration, so mild drift costs nothing
+// (see examples/timestepping).
 //
 // # Batched right-hand sides
 //
@@ -239,10 +285,10 @@
 // blocking CI job. Each analyzer guards one contract:
 //
 //   - pinpair — epoch pinning (the live-refactorization contract):
-//     every AcquireContext/ReleaseContext and PinEpoch/UnpinEpoch must
-//     be paired on every return path, including error paths, by defer
-//     or explicit call. A leaked pin strands a retired factor
-//     generation's buffer forever.
+//     every AcquireContext/ReleaseContext, PinEpoch/UnpinEpoch, and
+//     VersionedMatrix/Versioned Pin/Unpin must be paired on every
+//     return path, including error paths, by defer or explicit call. A
+//     leaked pin strands a retired generation's buffer forever.
 //   - kernelpurity — the bitwise-identity contract, Go side: kernel
 //     bodies in internal/kernels must not use math.FMA, iterate maps,
 //     launch goroutines, or import time/math/rand.

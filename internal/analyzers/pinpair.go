@@ -7,10 +7,13 @@ import (
 )
 
 // PinPair checks that the epoch-pinning resource pairs of
-// internal/core are balanced on every return path:
+// internal/core and the versioned-matrix layer are balanced on every
+// return path:
 //
 //	c := e.AcquireContext()   must be released by e.ReleaseContext(c)
 //	c.PinEpoch()              must be balanced by c.UnpinEpoch()
+//	ep := vm.Pin()            must be released by vm.Unpin(ep)
+//	                          (Versioned and VersionedMatrix receivers)
 //
 // either via defer or by an explicit call before each return
 // (including error-return paths). A leaked acquire keeps its pinned
@@ -36,19 +39,36 @@ var PinPair = &Analyzer{
 	Run:  runPinPair,
 }
 
-// pinPairs maps open-call method names to their close method and the
-// receiver type names the pair is defined on.
-var pinPairs = map[string]struct {
-	close    string
-	recvType string
-}{
-	"AcquireContext": {close: "ReleaseContext", recvType: "Engine"},
-	"PinEpoch":       {close: "UnpinEpoch", recvType: "SolveContext"},
+// pairSpec describes one open/close resource pair. handle pairs
+// return a handle from the open call (tracked through the assigned
+// variable, closed by passing it back as an argument); bracket pairs
+// are keyed by the receiver expression and support nesting.
+type pairSpec struct {
+	close     string
+	recvTypes map[string]bool // named receiver types the pair is defined on
+	handle    bool
+	verb      string // past participle for diagnostics ("released", "unpinned")
+}
+
+// pinPairs maps open-call method names to their pair spec.
+var pinPairs = map[string]pairSpec{
+	"AcquireContext": {close: "ReleaseContext", recvTypes: recvSet("Engine"), handle: true, verb: "released"},
+	"PinEpoch":       {close: "UnpinEpoch", recvTypes: recvSet("SolveContext"), verb: "unpinned"},
+	"Pin":            {close: "Unpin", recvTypes: recvSet("Versioned", "VersionedMatrix"), handle: true, verb: "unpinned"},
 }
 
 var pinCloses = map[string]string{
 	"ReleaseContext": "AcquireContext",
 	"UnpinEpoch":     "PinEpoch",
+	"Unpin":          "Pin",
+}
+
+func recvSet(names ...string) map[string]bool {
+	s := make(map[string]bool, len(names))
+	for _, n := range names {
+		s[n] = true
+	}
+	return s
 }
 
 func runPinPair(pass *Pass) error {
@@ -188,11 +208,11 @@ func (w *pinWalker) stmt(s ast.Stmt, stAny any) any {
 			return nil // panicking path: defers run, not checked here
 		}
 		if name, _ := w.pairCall(call); name != "" {
-			if _, isOpen := pinPairs[name]; isOpen {
-				if name == "AcquireContext" {
-					w.pass.Report(call.Pos(), "result of AcquireContext discarded: the acquired context (and its epoch pin) leaks")
+			if spec, isOpen := pinPairs[name]; isOpen {
+				if spec.handle {
+					w.pass.Report(call.Pos(), "result of %s discarded: the acquired handle (and its pinned epoch) leaks", name)
 				} else {
-					w.openPin(call, st)
+					w.openPin(name, call, st)
 				}
 				return st
 			}
@@ -208,9 +228,10 @@ func (w *pinWalker) stmt(s ast.Stmt, stAny any) any {
 	return st
 }
 
-// assign handles `c := X.AcquireContext()` (open) and ignores other
-// assignments; an acquire stored into anything but a plain local
-// identifier is an ownership transfer and deliberately untracked.
+// assign handles handle-returning opens (`c := e.AcquireContext()`,
+// `ep := vm.Pin()`) and ignores other assignments; an acquire stored
+// into anything but a plain local identifier is an ownership transfer
+// and deliberately untracked.
 func (w *pinWalker) assign(s *ast.AssignStmt, st *pinState) {
 	if len(s.Lhs) != len(s.Rhs) {
 		return
@@ -230,11 +251,12 @@ func (w *pinWalker) maybeOpen(id *ast.Ident, rhs ast.Expr, st *pinState) {
 		return
 	}
 	name, _ := w.pairCall(call)
-	if name != "AcquireContext" {
+	spec, isOpen := pinPairs[name]
+	if !isOpen || !spec.handle {
 		return
 	}
 	if id.Name == "_" {
-		w.pass.Report(call.Pos(), "result of AcquireContext assigned to _: the acquired context (and its epoch pin) leaks")
+		w.pass.Report(call.Pos(), "result of %s assigned to _: the acquired handle (and its pinned epoch) leaks", name)
 		return
 	}
 	obj := w.pass.Info.Defs[id]
@@ -248,8 +270,8 @@ func (w *pinWalker) maybeOpen(id *ast.Ident, rhs ast.Expr, st *pinState) {
 	st.handles[v] = &pinHandle{key: v, open: name, pos: call.Pos(), count: 1}
 }
 
-// openPin tracks a PinEpoch bracket keyed by the receiver expression.
-func (w *pinWalker) openPin(call *ast.CallExpr, st *pinState) {
+// openPin tracks a bracket-style pin keyed by the receiver expression.
+func (w *pinWalker) openPin(name string, call *ast.CallExpr, st *pinState) {
 	key := w.recvKey(call)
 	if key == nil {
 		return
@@ -258,36 +280,39 @@ func (w *pinWalker) openPin(call *ast.CallExpr, st *pinState) {
 		h.count++
 		return
 	}
-	st.handles[key] = &pinHandle{key: key, open: "PinEpoch", pos: call.Pos(), count: 1}
+	st.handles[key] = &pinHandle{key: key, open: name, pos: call.Pos(), count: 1}
 }
 
 // closeKey resolves the handle key a close call targets: the argument
-// variable for ReleaseContext(c), the receiver for c.UnpinEpoch().
-// nil when the call does not resolve to a trackable handle.
+// variable for handle-style closes (ReleaseContext(c), Unpin(ep)), the
+// receiver for bracket-style closes (c.UnpinEpoch()). nil when the
+// call does not resolve to a trackable handle.
 func (w *pinWalker) closeKey(call *ast.CallExpr) any {
 	name, _ := w.pairCall(call)
-	switch name {
-	case "ReleaseContext":
-		if len(call.Args) != 1 {
-			return nil
-		}
-		id, ok := call.Args[0].(*ast.Ident)
-		if !ok {
-			return nil
-		}
-		v, ok := w.pass.Info.Uses[id].(*types.Var)
-		if !ok {
-			return nil
-		}
-		return v
-	case "UnpinEpoch":
+	open, isClose := pinCloses[name]
+	if !isClose {
+		return nil
+	}
+	if !pinPairs[open].handle {
 		return w.recvKey(call)
 	}
-	return nil
+	if len(call.Args) != 1 {
+		return nil
+	}
+	id, ok := call.Args[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := w.pass.Info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
 }
 
-// close handles ReleaseContext(c) / c.UnpinEpoch(); closing an
-// untracked handle (e.g. a context received as a parameter) is fine.
+// close handles ReleaseContext(c) / c.UnpinEpoch() / vm.Unpin(ep);
+// closing an untracked handle (e.g. a context received as a
+// parameter) is fine.
 func (w *pinWalker) close(call *ast.CallExpr, st *pinState, isDefer bool) {
 	name, _ := w.pairCall(call)
 	key := w.closeKey(call)
@@ -302,14 +327,13 @@ func (w *pinWalker) close(call *ast.CallExpr, st *pinState, isDefer bool) {
 		h.deferred = true
 		return
 	}
-	switch name {
-	case "ReleaseContext":
+	if pinPairs[pinCloses[name]].handle {
 		delete(st.handles, key)
-	case "UnpinEpoch":
-		h.count--
-		if h.count <= 0 {
-			delete(st.handles, key)
-		}
+		return
+	}
+	h.count--
+	if h.count <= 0 {
+		delete(st.handles, key)
 	}
 }
 
@@ -430,34 +454,28 @@ func (w *pinWalker) checkReturn(st *pinState, pos token.Pos) {
 			continue
 		}
 		p := w.pass.Fset.Position(h.pos)
-		verb := "released"
-		closer := "ReleaseContext"
-		if h.open == "PinEpoch" {
-			verb = "unpinned"
-			closer = "UnpinEpoch"
-		}
+		spec := pinPairs[h.open]
 		w.pass.Report(pos, "%s at %s:%d is not %s on this return path (call %s before returning, or defer it)",
-			h.open, p.Filename, p.Line, verb, closer)
+			h.open, p.Filename, p.Line, spec.verb, spec.close)
 	}
 }
 
 // pairCall classifies a call as one of the tracked pair methods,
 // verifying the receiver's named type when type information resolves
-// (Engine for Acquire/Release, SolveContext for Pin/Unpin).
+// (Engine for Acquire/Release, SolveContext for PinEpoch/UnpinEpoch,
+// Versioned/VersionedMatrix for Pin/Unpin). A same-named method on an
+// unrelated type is not tracked.
 func (w *pinWalker) pairCall(call *ast.CallExpr) (name string, recv ast.Expr) {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok {
 		return "", nil
 	}
 	n := sel.Sel.Name
-	var wantRecv string
+	var wantRecv map[string]bool
 	if p, ok := pinPairs[n]; ok {
-		wantRecv = p.recvType
+		wantRecv = p.recvTypes
 	} else if open, ok := pinCloses[n]; ok {
-		wantRecv = pinPairs[open].recvType
-		if n == "UnpinEpoch" {
-			wantRecv = "SolveContext"
-		}
+		wantRecv = pinPairs[open].recvTypes
 	} else {
 		return "", nil
 	}
@@ -465,7 +483,7 @@ func (w *pinWalker) pairCall(call *ast.CallExpr) (name string, recv ast.Expr) {
 	if !ok {
 		return "", nil // package-qualified call or unresolved: not a method
 	}
-	if named := namedTypeName(s.Recv()); named != wantRecv {
+	if !wantRecv[namedTypeName(s.Recv())] {
 		return "", nil
 	}
 	return n, sel.X

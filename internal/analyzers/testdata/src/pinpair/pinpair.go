@@ -28,6 +28,35 @@ func (e *Engine) AcquireContext() *SolveContext {
 // ReleaseContext mirrors the real release (unpins on release).
 func (e *Engine) ReleaseContext(c *SolveContext) { c.UnpinEpoch() }
 
+// ValEpoch mirrors internal/sparse.ValEpoch (one pinned value
+// generation).
+type ValEpoch struct{ refs int }
+
+// Versioned mirrors internal/sparse.Versioned's pinning surface.
+type Versioned struct{ cur *ValEpoch }
+
+// Pin mirrors the real handle-returning pin.
+func (v *Versioned) Pin() *ValEpoch { v.cur.refs++; return v.cur }
+
+// Unpin mirrors the real handle-consuming release.
+func (v *Versioned) Unpin(ep *ValEpoch) { ep.refs-- }
+
+// VersionedMatrix mirrors the root package's wrapper around Versioned.
+type VersionedMatrix struct{ v *Versioned }
+
+// Pin mirrors VersionedMatrix.Pin.
+func (m *VersionedMatrix) Pin() *ValEpoch { return m.v.Pin() }
+
+// Unpin mirrors VersionedMatrix.Unpin.
+func (m *VersionedMatrix) Unpin(ep *ValEpoch) { m.v.Unpin(ep) }
+
+// decoy carries same-named Pin/Unpin methods on an unrelated type; the
+// analyzer's receiver-type guard must leave them untracked.
+type decoy struct{}
+
+func (d *decoy) Pin() *ValEpoch     { return nil }
+func (d *decoy) Unpin(ep *ValEpoch) {}
+
 var errFixture = errors.New("fixture")
 
 func work(c *SolveContext) {}
@@ -77,6 +106,35 @@ func unbalancedNest(c *SolveContext) {
 	c.PinEpoch()
 	c.UnpinEpoch()
 } // want `PinEpoch at .*pinpair\.go:\d+ is not unpinned on this return path`
+
+// matrixPinLeakOnError unpins the matrix epoch on the happy path only:
+// the early error return keeps the pinned value generation alive
+// forever (its buffer can never be recycled).
+func matrixPinLeakOnError(vm *VersionedMatrix, fail bool) error {
+	ep := vm.Pin()
+	if fail {
+		return errFixture // want `Pin at .*pinpair\.go:\d+ is not unpinned on this return path`
+	}
+	vm.Unpin(ep)
+	return nil
+}
+
+// matrixPinDiscarded drops the pinned epoch on the floor.
+func matrixPinDiscarded(vm *VersionedMatrix) {
+	vm.Pin() // want `result of Pin discarded`
+}
+
+// matrixPinBlank leaks the pinned epoch through the blank identifier.
+func matrixPinBlank(vm *VersionedMatrix) {
+	_ = vm.Pin() // want `result of Pin assigned to _`
+}
+
+// versionedPinLeakAtEnd pins the internal Versioned type and never
+// unpins: flagged at the implicit return.
+func versionedPinLeakAtEnd(v *Versioned) {
+	ep := v.Pin()
+	_ = ep
+} // want `Pin at .*pinpair\.go:\d+ is not unpinned on this return path`
 
 // --- compliant forms ---
 
@@ -160,4 +218,38 @@ func switchBalanced(e *Engine, n int) {
 	default:
 		e.ReleaseContext(c)
 	}
+}
+
+// matrixPinDefer covers every path, error or not, with one defer —
+// the canonical whole-solve pin bracket.
+func matrixPinDefer(vm *VersionedMatrix, fail bool) error {
+	ep := vm.Pin()
+	defer vm.Unpin(ep)
+	if fail {
+		return errFixture
+	}
+	return nil
+}
+
+// versionedPinExplicit unpins explicitly before each return.
+func versionedPinExplicit(v *Versioned, fail bool) error {
+	ep := v.Pin()
+	if fail {
+		v.Unpin(ep)
+		return errFixture
+	}
+	v.Unpin(ep)
+	return nil
+}
+
+// unpinParam releases an epoch pinned elsewhere: closing an untracked
+// handle is always fine (the Applier-style ownership transfer).
+func unpinParam(vm *VersionedMatrix, ep *ValEpoch) {
+	vm.Unpin(ep)
+}
+
+// decoyPin exercises the receiver-type guard: Pin on an unrelated
+// type is not an epoch pin and must not be tracked or flagged.
+func decoyPin(d *decoy) {
+	d.Pin()
 }

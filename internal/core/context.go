@@ -139,6 +139,18 @@ func (e *Engine) ReleaseContext(c *SolveContext) {
 // Engine returns the engine this context applies.
 func (c *SolveContext) Engine() *Engine { return c.e }
 
+// FactorEpoch returns the sequence number of the factor-value epoch
+// this context currently holds pinned, or 0 when no pin is held (a
+// per-call context between solves). On a context from AcquireContext
+// it identifies the factor generation every solve in the
+// acquire→release window reads.
+func (c *SolveContext) FactorEpoch() uint64 {
+	if c.ep == nil {
+		return 0
+	}
+	return c.ep.seq
+}
+
 // PinEpoch pins the current factor-value epoch so that a sequence of
 // standalone solves (e.g. a SolveLower followed by a SolveUpper)
 // observes one consistent factor generation even if Refactorize

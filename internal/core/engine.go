@@ -215,6 +215,10 @@ type Engine struct {
 	// retired holds swapped-out epochs until their readers drain and
 	// their buffers recycle.
 	retired []*epoch //javelin:plain-under-mu refacMu
+	// refacFails counts Refactorize calls that returned an error and
+	// left the previous epoch serving (the drift policy's failure
+	// signal).
+	refacFails atomic.Uint64
 
 	// ctxPool recycles SolveContexts between Acquire/ReleaseContext
 	// pairs so per-call solve entry points (the public Solver) stay
@@ -374,6 +378,20 @@ func (e *Engine) KernelVariant() string { return e.kt.Name }
 // Runtime returns the execution runtime the engine schedules on
 // (shared when Options.Runtime was set, private otherwise).
 func (e *Engine) Runtime() *exec.Runtime { return e.rt }
+
+// FactorEpoch returns the sequence number of the currently published
+// factor-value epoch: 1 after Factorize, +1 per successful
+// Refactorize. Paired with a versioned matrix epoch it identifies the
+// (A, factor) generation pair a solve ran against.
+func (e *Engine) FactorEpoch() uint64 { return e.cur.Load().seq }
+
+// Refactorizes returns the number of successful Refactorize
+// publications after the initial factorization.
+func (e *Engine) Refactorizes() uint64 { return e.cur.Load().seq - 1 }
+
+// RefactorizeFailures returns the number of Refactorize calls that
+// failed; each left the previously published epoch serving.
+func (e *Engine) RefactorizeFailures() uint64 { return e.refacFails.Load() }
 
 // Close releases the engine's private execution runtime; a shared
 // runtime passed via Options.Runtime is left untouched (its owner

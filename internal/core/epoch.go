@@ -19,6 +19,12 @@ import "sync/atomic"
 // two value buffers and never allocates.
 type epoch struct {
 	vals []float64
+	// seq is the publication-ordered generation number: 1 for the
+	// epoch Factorize publishes, +1 per successful Refactorize. Plain
+	// (not atomic): written once before the publishing swap, immutable
+	// after, so readers that reached the epoch through cur see it
+	// fully written.
+	seq uint64
 	// refs counts pinned readers. A retired epoch is reusable only at
 	// zero; the current epoch's count is transiently wrong-by-one
 	// during pinEpoch's validation window, which is harmless because
@@ -78,7 +84,10 @@ func (e *Engine) grabValuesLocked() []float64 {
 // skeleton's Val is repointed so Engine.Factor() exposes the newest
 // generation to sequential inspection. Caller holds refacMu.
 func (e *Engine) publishValuesLocked(vals []float64) {
-	ep := &epoch{vals: vals}
+	ep := &epoch{vals: vals, seq: 1}
+	if old := e.cur.Load(); old != nil {
+		ep.seq = old.seq + 1
+	}
 	if old := e.cur.Swap(ep); old != nil {
 		e.retired = append(e.retired, old)
 	}

@@ -35,6 +35,14 @@ var ErrPatternMismatch = ilu.ErrPatternMismatch
 // current and intact, so solve traffic continues on the last good
 // values.
 func (e *Engine) Refactorize(a *sparse.CSR) error {
+	if err := e.refactorize(a); err != nil {
+		e.refacFails.Add(1)
+		return err
+	}
+	return nil
+}
+
+func (e *Engine) refactorize(a *sparse.CSR) error {
 	if a.N != e.n || a.M != e.n {
 		return errors.New("core: Refactorize dimension mismatch")
 	}

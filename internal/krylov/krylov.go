@@ -28,11 +28,18 @@ type Identity struct{}
 // Apply copies r into z.
 func (Identity) Apply(r, z []float64) { copy(z, r) }
 
-// Stats reports the outcome of a solve.
+// Stats reports the outcome of a solve. MatrixEpoch and FactorEpoch
+// identify the (A, factor) generation pair the whole solve ran
+// against when the caller pinned epoch-versioned state (0 when not
+// epoch-versioned); the loops themselves never change them — they are
+// filled in by the pinning caller so the pair travels with the
+// result.
 type Stats struct {
 	Iterations  int
 	Converged   bool
 	RelResidual float64 // ‖b−Ax‖₂ / ‖b‖₂ at exit
+	MatrixEpoch uint64
+	FactorEpoch uint64
 }
 
 // Options bounds a solve. Tol is relative to ‖b‖₂ (Table II uses
@@ -56,6 +63,11 @@ type Stats struct {
 // IterInfo; returning false stops the solve with ErrStopped. Both
 // hooks are how the public Solver session API plumbs cancellation and
 // progress observation into the loops.
+// Vals, when non-nil, is the value slice every matrix–vector product
+// reads instead of a.Val — the epoch-pinned channel: a caller that
+// pinned a versioned matrix epoch passes that epoch's buffer here, so
+// the whole solve sees one consistent A even if new values publish
+// mid-solve. Must be indexed by a's pattern (len == a.Nnz()).
 type Options struct {
 	Tol     float64
 	MaxIter int
@@ -65,15 +77,21 @@ type Options struct {
 	Runtime *exec.Runtime
 	Ctx     context.Context
 	Monitor func(IterInfo) bool
+	Vals    []float64
 }
 
-// matVec computes y = A·x with the configured parallelism.
+// matVec computes y = A·x with the configured parallelism, reading
+// the pinned value slice when one was supplied.
 func (o Options) matVec(a *sparse.CSR, x, y []float64) {
+	vals := o.Vals
+	if vals == nil {
+		vals = a.Val
+	}
 	if o.Threads > 1 {
-		spmv.ParallelOn(o.Runtime, a, x, y, o.Threads)
+		spmv.ParallelVals(o.Runtime, a, vals, x, y, o.Threads)
 		return
 	}
-	a.MatVec(x, y)
+	a.MatVecVals(vals, x, y)
 }
 
 // workspace returns the caller's workspace or a private throwaway.

@@ -184,10 +184,19 @@ func (a *CSR) Diagonal() []float64 {
 
 // MatVec computes y = a*x serially. len(x) == M, len(y) == N.
 func (a *CSR) MatVec(x, y []float64) {
+	a.MatVecVals(a.Val, x, y)
+}
+
+// MatVecVals computes y = a*x serially against an explicit value
+// slice indexed by a's pattern — the epoch-pinned read path: a
+// Versioned reader passes the pinned epoch's buffer instead of a.Val,
+// the same explicit-values discipline the ILU numeric kernels use.
+// len(vals) == Nnz.
+func (a *CSR) MatVecVals(vals, x, y []float64) {
 	for i := 0; i < a.N; i++ {
 		s := 0.0
 		for k := a.RowPtr[i]; k < a.RowPtr[i+1]; k++ {
-			s += a.Val[k] * x[a.ColIdx[k]]
+			s += vals[k] * x[a.ColIdx[k]]
 		}
 		y[i] = s
 	}

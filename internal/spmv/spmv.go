@@ -32,16 +32,24 @@ func Parallel(a *sparse.CSR, x, y []float64, threads int) {
 // are independent, so the result is bitwise identical at any piece
 // count.
 func ParallelOn(rt *exec.Runtime, a *sparse.CSR, x, y []float64, threads int) {
+	ParallelVals(rt, a, a.Val, x, y, threads)
+}
+
+// ParallelVals is ParallelOn against an explicit value slice indexed
+// by a's pattern — the epoch-pinned read path, where vals is a pinned
+// Versioned epoch's buffer rather than a.Val. Same kernel, same piece
+// dealing, bitwise identical at any piece count.
+func ParallelVals(rt *exec.Runtime, a *sparse.CSR, vals, x, y []float64, threads int) {
 	if rt == nil {
 		rt = exec.Default()
 	}
 	pieces := rt.PiecesFor(2*int64(a.Nnz()), threads)
 	if pieces <= 1 {
-		kernels.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, 0, a.N)
+		kernels.SpMVRows(a.RowPtr, a.ColIdx, vals, x, y, 0, a.N)
 		return
 	}
 	rt.Ranges(a.N, pieces, func(_, lo, hi int) {
-		kernels.SpMVRows(a.RowPtr, a.ColIdx, a.Val, x, y, lo, hi)
+		kernels.SpMVRows(a.RowPtr, a.ColIdx, vals, x, y, lo, hi)
 	})
 }
 

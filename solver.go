@@ -13,9 +13,11 @@ import (
 // Method names an iterative solution method.
 type Method int
 
-// Supported methods. MethodAuto picks from the matrix structure at
-// NewSolver time: CG when the sparsity pattern is symmetric (the
-// paper's group-A setting), restarted GMRES otherwise (group B).
+// Supported methods. MethodAuto picks from the matrix at NewSolver
+// time: CG when the matrix is symmetric — pattern AND values, since
+// CG's theory needs A = Aᵀ and a structurally-symmetric circuit or
+// FEM matrix is routinely unsymmetric in its values (the paper's
+// group-A/group-B divide) — and restarted GMRES otherwise.
 const (
 	MethodAuto Method = iota
 	MethodCG
@@ -100,6 +102,7 @@ type solverConfig struct {
 	threads int
 	runtime *Runtime
 	monitor func(IterInfo) bool
+	drift   *DriftPolicy
 	// errs collects invalid option values; NewSolver reports them
 	// instead of letting a nonsensical bound misbehave mid-solve
 	// (Tol NaN never converges, MaxIter 0 "succeeds" instantly, ...).
@@ -111,7 +114,7 @@ func (c *solverConfig) badOption(format string, args ...any) {
 }
 
 // WithMethod selects the iterative method (default MethodAuto: CG for
-// pattern-symmetric matrices, GMRES otherwise).
+// pattern- and value-symmetric matrices, GMRES otherwise).
 func WithMethod(m Method) SolverOption { return func(c *solverConfig) { c.method = m } }
 
 // WithTol sets the relative-residual convergence tolerance ‖b−Ax‖/‖b‖
@@ -184,6 +187,24 @@ func WithRuntime(rt *Runtime) SolverOption { return func(c *solverConfig) { c.ru
 // concurrent use.
 func WithMonitor(f func(IterInfo) bool) SolverOption { return func(c *solverConfig) { c.monitor = f } }
 
+// WithAutoRefactorize enables monitor-driven automatic
+// refactorization: the solver watches every solve for drift between
+// the published matrix values and the values the preconditioner was
+// factored from (iteration counts inflating past the fresh-pair
+// baseline, mid-solve residual growth, non-convergence) and, when
+// drift shows, refactorizes from the newest matrix generation in a
+// single-flight background goroutine — solve traffic never waits. A
+// failed refactorization keeps the previous (A, factor) pair serving
+// and counts in DriftStats.Failures.
+//
+// Only valid on NewVersionedSolver with a preconditioner (drift is
+// defined against a VersionedMatrix's update stream); NewSolver
+// rejects it. Call Solver.Close when done so an in-flight background
+// refactorization is waited out.
+func WithAutoRefactorize(p DriftPolicy) SolverOption {
+	return func(c *solverConfig) { c.drift = &p }
+}
+
 // Solver is a reusable, concurrency-safe session for iterative solves
 // of one system shape: A (and optionally a Preconditioner) bound at
 // construction, then Solve called any number of times — from any
@@ -201,6 +222,18 @@ type Solver struct {
 	p      *Preconditioner
 	cfg    solverConfig
 	method Method // resolved, never MethodAuto
+
+	// vm, when non-nil (NewVersionedSolver), is the live matrix: each
+	// Solve pins one value generation for its whole duration, paired
+	// with the factor epoch its preconditioner context pinned, so the
+	// solve sees one consistent (A, factor) pair however many
+	// UpdateValues/Refactorize publications land mid-flight. m then
+	// holds the construction-time snapshot (method resolution and
+	// shape only — solve paths read the pinned generation instead).
+	vm *VersionedMatrix
+	// drift is the auto-refactorization controller (nil unless
+	// WithAutoRefactorize).
+	drift *driftController
 
 	// wsPool recycles Krylov workspaces across Solve calls; the
 	// preconditioner contexts are pooled by the engine itself
@@ -221,6 +254,51 @@ func NewSolver(m *Matrix, p *Preconditioner, opts ...SolverOption) (*Solver, err
 	if m == nil || m.csr == nil {
 		return nil, errors.New("javelin: NewSolver: nil matrix")
 	}
+	s, err := newSolver(m, nil, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.drift != nil {
+		return nil, errors.New("javelin: NewSolver: WithAutoRefactorize requires NewVersionedSolver (drift is defined against a VersionedMatrix)")
+	}
+	return s, nil
+}
+
+// NewVersionedSolver builds a solve session over a live
+// VersionedMatrix: every Solve pins one matrix value generation for
+// its whole duration and pairs it with the factor epoch its
+// preconditioner context pins, so each solve runs against exactly one
+// published (A, factor) pair even while UpdateValues and Refactorize
+// publish concurrently. Options are those of NewSolver plus
+// WithAutoRefactorize; MethodAuto resolves against the generation
+// current at construction.
+//
+// The returned Solver is safe for unlimited concurrent Solve calls
+// concurrent with vm.UpdateValues. With WithAutoRefactorize
+// configured, call Close when done; p should have been factorized
+// from vm's current generation (NewVersionedSolver does not
+// refactorize on your behalf).
+func NewVersionedSolver(vm *VersionedMatrix, p *Preconditioner, opts ...SolverOption) (*Solver, error) {
+	if vm == nil {
+		return nil, errors.New("javelin: NewVersionedSolver: nil matrix")
+	}
+	s, err := newSolver(vm.Matrix(), vm, p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.drift != nil {
+		if p == nil {
+			return nil, errors.New("javelin: NewVersionedSolver: WithAutoRefactorize requires a preconditioner")
+		}
+		s.drift = newDriftController(vm, p, *s.cfg.drift, s.cfg.monitor)
+	}
+	return s, nil
+}
+
+// newSolver is the shared construction path: option folding, method
+// resolution, and thread/runtime inheritance. m is the (snapshot)
+// matrix used for shape checks and MethodAuto resolution.
+func newSolver(m *Matrix, vm *VersionedMatrix, p *Preconditioner, opts []SolverOption) (*Solver, error) {
 	if m.N() != m.Cols() {
 		return nil, fmt.Errorf("%w: matrix is %d×%d, want square", ErrDimension, m.N(), m.Cols())
 	}
@@ -228,7 +306,7 @@ func NewSolver(m *Matrix, p *Preconditioner, opts ...SolverOption) (*Solver, err
 		return nil, fmt.Errorf("%w: preconditioner is %d×%d, matrix is %d×%d",
 			ErrDimension, p.e.N(), p.e.N(), m.N(), m.N())
 	}
-	s := &Solver{m: m, p: p}
+	s := &Solver{m: m, vm: vm, p: p}
 	for _, o := range opts {
 		o(&s.cfg)
 	}
@@ -237,7 +315,12 @@ func NewSolver(m *Matrix, p *Preconditioner, opts ...SolverOption) (*Solver, err
 	}
 	switch s.cfg.method {
 	case MethodAuto:
-		if m.PatternSymmetric() {
+		// Pattern symmetry alone is not enough for CG: a structurally
+		// symmetric matrix with unsymmetric values (circuit and FEM
+		// matrices, routinely) would make the CG recurrence break down
+		// mid-solve. The pattern check first keeps the common
+		// unsymmetric case cheap.
+		if m.PatternSymmetric() && m.NumericallySymmetric(0) {
 			s.method = MethodCG
 		} else {
 			s.method = MethodGMRES
@@ -288,22 +371,50 @@ func (s *Solver) Solve(ctx context.Context, b, x []float64) (SolverStats, error)
 // solvePooledPC runs a solve with the given workspace and a
 // preconditioner context drawn from the engine's pool for the
 // duration of the call (the identity when unpreconditioned). The
-// single place per-call contexts are acquired.
+// single place per-call contexts are acquired — and, on a versioned
+// solver, the single place the (A-epoch, factor-epoch) pair is
+// pinned: the matrix pin and the acquired context's factor pin both
+// span the whole solve, so every matvec and every preconditioner
+// application inside it reads the same two published generations.
 //
 //javelin:noalloc
 func (s *Solver) solvePooledPC(ctx context.Context, ws *SolverWorkspace, b, x []float64) (SolverStats, error) {
+	var vals []float64
+	var mEpoch uint64
+	if s.vm != nil {
+		ep := s.vm.Pin()
+		defer s.vm.Unpin(ep)
+		vals = ep.Vals()
+		mEpoch = ep.Seq()
+	}
 	var pc krylov.Preconditioner = krylov.Identity{}
+	var fEpoch uint64
 	if s.p != nil {
 		c := s.p.e.AcquireContext()
 		defer s.p.e.ReleaseContext(c)
 		pc = c
+		fEpoch = c.FactorEpoch()
 	}
-	return s.finish(s.run(ctx, pc, ws, b, x))
+	mon := s.cfg.monitor
+	var probe *driftProbe
+	if s.drift != nil {
+		probe = s.drift.acquireProbe()
+		defer s.drift.releaseProbe(probe)
+		mon = probe.fn
+	}
+	st, err := s.run(ctx, pc, ws, b, x, vals, mon)
+	st.MatrixEpoch = mEpoch
+	st.FactorEpoch = fEpoch
+	if s.drift != nil {
+		s.drift.observe(st, err == nil && st.Converged, probe.grew)
+	}
+	return s.finish(st, err)
 }
 
 // run dispatches to the krylov loops with the session configuration
-// and the given per-call preconditioner and workspace.
-func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWorkspace, b, x []float64) (SolverStats, error) {
+// and the given per-call preconditioner, workspace, pinned matrix
+// values (nil means the matrix's own), and monitor.
+func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWorkspace, b, x []float64, vals []float64, mon func(IterInfo) bool) (SolverStats, error) {
 	opt := krylov.Options{
 		Tol:     s.cfg.tol,
 		MaxIter: s.cfg.maxIter,
@@ -312,7 +423,8 @@ func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWo
 		Threads: s.cfg.threads,
 		Runtime: s.cfg.runtime,
 		Ctx:     ctx,
-		Monitor: s.cfg.monitor,
+		Monitor: mon,
+		Vals:    vals,
 	}
 	switch s.method {
 	case MethodGMRES:
@@ -321,6 +433,27 @@ func (s *Solver) run(ctx context.Context, pc krylov.Preconditioner, ws *SolverWo
 		return krylov.BiCGSTAB(s.m.csr, pc, b, x, opt)
 	default:
 		return krylov.CG(s.m.csr, pc, b, x, opt)
+	}
+}
+
+// DriftStats returns the auto-refactorization counters (all zero
+// unless the solver was built with WithAutoRefactorize).
+func (s *Solver) DriftStats() DriftStats {
+	if s.drift == nil {
+		return DriftStats{}
+	}
+	return s.drift.snapshot()
+}
+
+// Close stops the auto-refactorization policy: no further background
+// refactorizations launch, and an in-flight one is waited for (it
+// finishes and publishes or fails normally — it is never abandoned
+// mid-build). Solve calls remain valid after Close; they simply run
+// without the drift policy. Close is a no-op on solvers without
+// WithAutoRefactorize and is safe to call more than once.
+func (s *Solver) Close() {
+	if s.drift != nil {
+		s.drift.close()
 	}
 }
 
@@ -376,7 +509,7 @@ func legacySolve(m *Matrix, p *Preconditioner, pc krylov.Preconditioner, meth Me
 		if ws == nil {
 			ws = krylov.NewWorkspace()
 		}
-		st, err = s.finish(s.run(opt.Ctx, pc, ws, b, x))
+		st, err = s.finish(s.run(opt.Ctx, pc, ws, b, x, nil, s.cfg.monitor))
 	} else if opt.Work != nil {
 		// Caller-managed workspace; preconditioner context still pooled.
 		st, err = s.solvePooledPC(opt.Ctx, opt.Work, b, x)
